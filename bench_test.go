@@ -1,0 +1,336 @@
+package logres
+
+// The benchmark harness: one testing.B family per experiment of
+// EXPERIMENTS.md (E1–E11). The same workloads back cmd/logres-bench,
+// which prints the result tables. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The paper (SIGMOD 1990) contains no quantitative tables; these
+// experiments characterize the system the paper describes and the
+// ablations DESIGN.md calls out.
+
+import (
+	"fmt"
+	"testing"
+
+	"logres/internal/ast"
+	"logres/internal/bench"
+)
+
+// E1 — transitive closure: LOGRES naive vs semi-naive vs ALGRES-compiled
+// vs the flat Datalog baseline, over chains.
+func BenchmarkE1_TC_LogresSemiNaive(b *testing.B) { benchE1Logres(b, true) }
+func BenchmarkE1_TC_LogresNaive(b *testing.B)     { benchE1Logres(b, false) }
+
+func benchE1Logres(b *testing.B, semi bool) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := bench.NewLogresTC(bench.Chain(n), semi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := n * (n + 1) / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("tc = %d, want %d", got, want)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE1_TC_Datalog(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := bench.NewDatalogTC(bench.Chain(n), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Run(); got != n*(n+1)/2 {
+					b.Fatalf("tc = %d", got)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE1_TC_Algres(b *testing.B) {
+	for _, semi := range []bool{true, false} {
+		name := "seminaive"
+		if !semi {
+			name = "naive"
+		}
+		for _, n := range []int{32, 128} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				s, err := bench.NewAlgresTC(bench.Chain(n), semi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got, err := s.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got != n*(n+1)/2 {
+						b.Fatalf("tc = %d", got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E2 — same generation (nonlinear recursion) over balanced trees.
+func BenchmarkE2_SameGeneration(b *testing.B) {
+	for _, depth := range []int{3, 5} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s, err := bench.NewLogresSG(bench.Tree(2, depth), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunSG(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E3 — oid invention throughput vs plain derivation.
+func BenchmarkE3_Invention(b *testing.B) {
+	for _, invent := range []bool{true, false} {
+		name := "invent"
+		pred := "item"
+		if !invent {
+			name = "derive"
+			pred = "flat"
+		}
+		for _, n := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				s, err := bench.NewInvention(n, invent)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got, err := s.Run(pred)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got != n {
+						b.Fatalf("%s = %d", pred, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E4 — isa-propagation overhead: hierarchy depth sweep.
+func BenchmarkE4_IsaPropagation(b *testing.B) {
+	for _, depth := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s, leaf, err := bench.NewIsaChain(depth, 200)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.Run(leaf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != 200 {
+					b.Fatalf("leaf = %d", got)
+				}
+			}
+		})
+	}
+}
+
+// E5 — powerset (Example 3.3): built-in heavy, exponential output.
+func BenchmarkE5_Powerset(b *testing.B) {
+	for _, d := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			s, err := bench.NewPowerset(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := 1 << d
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("power = %d", got)
+				}
+			}
+		})
+	}
+}
+
+// E6 — module application modes over the same update.
+func BenchmarkE6_ModuleModes(b *testing.B) {
+	for _, mode := range []ast.Mode{ast.RIDI, ast.RADI, ast.RIDV, ast.RADV} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s, err := bench.NewModeWorkload(200, mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != 200 {
+					b.Fatalf("copyrel = %d", got)
+				}
+			}
+		})
+	}
+}
+
+// E7 — stratified vs whole-program inflationary negation.
+func BenchmarkE7_Negation(b *testing.B) {
+	for _, strat := range []bool{true, false} {
+		name := "stratified"
+		if !strat {
+			name = "inflationary"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := bench.NewWinLose(bench.Chain(128), strat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunPred("unreach"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E8 — data-function nesting (descendants per person).
+func BenchmarkE8_DataFunctions(b *testing.B) {
+	for _, depth := range []int{4, 6} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s, err := bench.NewDescendants(bench.Tree(2, depth))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunPred("ancestor"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E9 — snapshot codec.
+func BenchmarkE9_SnapshotEncode(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := bench.NewSnapshot(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Encode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE9_SnapshotDecode(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := bench.NewSnapshot(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Decode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E10 — ALGRES operator microbenchmarks.
+func BenchmarkE10_AlgebraJoin(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := bench.NewAlgebraOps(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if a.Join() == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE10_AlgebraNestUnnest(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := bench.NewAlgebraOps(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.NestUnnest(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E11 — rule semantics: inflationary vs non-inflationary on the same
+// closure workload (§1: rules are parametric in their semantics).
+func BenchmarkE11_Semantics(b *testing.B) {
+	for _, nonInf := range []bool{false, true} {
+		name := "inflationary"
+		if nonInf {
+			name = "noninflationary"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := bench.NewLogresTCSemantics(bench.Chain(32), nonInf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != 32*33/2 {
+					b.Fatalf("tc = %d", got)
+				}
+			}
+		})
+	}
+}

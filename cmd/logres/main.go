@@ -1,0 +1,145 @@
+// Command logres executes LOGRES schema and module files against a
+// database state.
+//
+// Usage:
+//
+//	logres -schema schema.lgr [flags] module1.lgr module2.lgr …
+//
+// The schema file contains only type equations (domains / classes /
+// associations / functions). Each module file is applied in order with
+// its declared mode (RIDI when undeclared). Flags:
+//
+//	-schema file    schema file (required unless -load is given)
+//	-load file      load a snapshot instead of opening a schema
+//	-save file      save a snapshot after applying all modules
+//	-q goal         evaluate a goal (e.g. '?- person(name: X).') at the end
+//	-dump           print the final instance
+//	-max-steps n    fixpoint step bound
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"logres"
+)
+
+func main() {
+	var (
+		schemaPath  = flag.String("schema", "", "schema file (type equations only)")
+		loadPath    = flag.String("load", "", "load a snapshot instead of opening a schema")
+		savePath    = flag.String("save", "", "save a snapshot after applying all modules")
+		goal        = flag.String("q", "", "goal to evaluate at the end")
+		dump        = flag.Bool("dump", false, "print the final instance")
+		maxSteps    = flag.Int("max-steps", 0, "fixpoint step bound (0 = default)")
+		interactive = flag.Bool("i", false, "start an interactive REPL after applying the modules")
+	)
+	flag.Parse()
+	if err := run(*schemaPath, *loadPath, *savePath, *goal, *dump, *interactive, *maxSteps, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "logres:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemaPath, loadPath, savePath, goal string, dump, interactive bool, maxSteps int, moduleFiles []string) error {
+	var opts []logres.Option
+	if maxSteps > 0 {
+		opts = append(opts, logres.WithMaxSteps(maxSteps))
+	}
+
+	var db *logres.Database
+	switch {
+	case loadPath != "":
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		loaded, err := logres.Load(f, opts...)
+		if err != nil {
+			return err
+		}
+		db = loaded
+	case schemaPath != "":
+		src, err := os.ReadFile(schemaPath)
+		if err != nil {
+			return err
+		}
+		opened, err := logres.Open(string(src), opts...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", schemaPath, err)
+		}
+		db = opened
+	default:
+		return fmt.Errorf("one of -schema or -load is required")
+	}
+
+	for _, path := range moduleFiles {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		res, err := db.Exec(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("applied %s (%s)\n", path, res.Mode)
+		if res.Answer != nil {
+			printAnswer(res.Answer)
+		}
+	}
+
+	if goal != "" {
+		ans, err := db.Query(goal)
+		if err != nil {
+			return err
+		}
+		printAnswer(ans)
+	}
+	if dump {
+		out, err := db.InstanceString()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	if interactive {
+		if err := repl(db, os.Stdin, os.Stdout); err != nil {
+			return err
+		}
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := db.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved snapshot to %s\n", savePath)
+	}
+	return nil
+}
+
+func printAnswer(ans *logres.Answer) {
+	if len(ans.Vars) == 0 {
+		if len(ans.Rows) > 0 {
+			fmt.Println("yes")
+		} else {
+			fmt.Println("no")
+		}
+		return
+	}
+	fmt.Println(strings.Join(ans.Vars, "\t"))
+	for _, row := range ans.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d answers)\n", len(ans.Rows))
+}

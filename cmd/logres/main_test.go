@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logres"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testSchema = `
+domains NAME = string;
+associations
+  PARENT = (par: NAME, chil: NAME);
+  ANC = (anc: NAME, des: NAME);
+`
+
+func TestRunScriptFlow(t *testing.T) {
+	dir := t.TempDir()
+	schema := writeFile(t, dir, "schema.lgr", testSchema)
+	load := writeFile(t, dir, "load.lgr", `
+mode ridv.
+rules
+  parent(par: "a", chil: "b").
+  parent(par: "b", chil: "c").
+end.
+`)
+	rules := writeFile(t, dir, "rules.lgr", `
+mode radi.
+rules
+  anc(anc: X, des: Y) <- parent(par: X, chil: Y).
+  anc(anc: X, des: Z) <- anc(anc: X, des: Y), parent(par: Y, chil: Z).
+end.
+`)
+	snap := filepath.Join(dir, "snap.bin")
+	if err := run(schema, "", snap, `?- anc(anc: "a", des: X).`, false, false, 0, []string{load, rules}); err != nil {
+		t.Fatal(err)
+	}
+	// Reload from the snapshot.
+	if err := run("", snap, "", `?- anc(des: X).`, true, false, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "", "", "", false, false, 0, nil); err == nil {
+		t.Fatal("missing schema accepted")
+	}
+	bad := writeFile(t, dir, "bad.lgr", "classes C = (x: NOPE);")
+	if err := run(bad, "", "", "", false, false, 0, nil); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+	schema := writeFile(t, dir, "schema.lgr", testSchema)
+	badMod := writeFile(t, dir, "badmod.lgr", "rules nosuch(x: 1). end.")
+	if err := run(schema, "", "", "", false, false, 0, []string{badMod}); err == nil {
+		t.Fatal("bad module accepted")
+	}
+	if err := run(schema, "", "", "?- nosuch(x: X).", false, false, 0, nil); err == nil {
+		t.Fatal("bad goal accepted")
+	}
+	if err := run("", filepath.Join(dir, "missing.bin"), "", "", false, false, 0, nil); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}
+
+func TestREPLSession(t *testing.T) {
+	db, err := logres.Open(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := strings.Join([]string{
+		"mode ridv.",
+		"rules",
+		`  parent(par: "x", chil: "y").`,
+		"end.",
+		`?- parent(par: X, chil: Y).`,
+		".schema",
+		".dump",
+		".modules",
+		".register",
+		"module probe.",
+		"rules",
+		"goal",
+		"  ?- parent(par: X).",
+		"end.",
+		".call probe",
+		".call nosuch",
+		".explain",
+		".bogus",
+		".help",
+		".quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := repl(db, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"applied (RIDV)",
+		`"x"	"y"`,
+		"(1 answers)",
+		"parent = (par: name, chil: name)",
+		"registered",
+		"applied probe (RIDI)",
+		"error:",          // .call nosuch
+		"unknown command", // .bogus
+		"commands:",       // .help
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestREPLSaveAndGoalErrors(t *testing.T) {
+	db, err := logres.Open(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "s.bin")
+	input := strings.Join([]string{
+		"?- nosuch(x: X).", // goal error
+		"rules",
+		"  junk(",
+		"end.",
+		".save " + snap,
+		".save",   // usage error
+		".load x", // hint
+		".quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := repl(db, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "error:") || !strings.Contains(got, "saved "+snap) ||
+		!strings.Contains(got, "usage: .save FILE") {
+		t.Fatalf("REPL error handling output:\n%s", got)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal("snapshot not written")
+	}
+}
+
+func TestWriteAnswerForms(t *testing.T) {
+	var out bytes.Buffer
+	writeAnswer(&out, &logres.Answer{}) // no vars, no rows → "no"
+	writeAnswer(&out, &logres.Answer{Rows: [][]logres.Value{{}}})
+	got := out.String()
+	if !strings.Contains(got, "no") || !strings.Contains(got, "yes") {
+		t.Fatalf("boolean answers = %q", got)
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"logres"
+)
+
+// repl runs the interactive loop. Input forms:
+//
+//	?- goal .                  evaluate a goal immediately
+//	mode/rules/… … end.        a module, applied when `end.` arrives
+//	.dump                      print the current instance
+//	.schema                    print the schema
+//	.explain                   print program structure and statistics
+//	.modules                   list registered modules
+//	.call NAME                 invoke a registered module
+//	.register <module…end.>    register the next module instead of applying
+//	.save FILE / .load FILE    snapshot I/O
+//	.help / .quit
+func repl(db *logres.Database, in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	registering := false
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(out, "logres> ")
+		} else {
+			fmt.Fprint(out, "   ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case buf.Len() == 0 && strings.HasPrefix(trimmed, "."):
+			if done := replCommand(db, trimmed, out, &registering); done {
+				return nil
+			}
+			prompt()
+			continue
+		case buf.Len() == 0 && trimmed == "":
+			prompt()
+			continue
+		case buf.Len() == 0 && strings.HasPrefix(trimmed, "?-"):
+			ans, err := db.Query(trimmed)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				writeAnswer(out, ans)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if trimmed == "end." {
+			src := buf.String()
+			buf.Reset()
+			if registering {
+				registering = false
+				if err := db.Register(src); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					fmt.Fprintln(out, "registered")
+				}
+			} else if res, err := db.Exec(src); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintf(out, "applied (%s)\n", res.Mode)
+				if res.Answer != nil {
+					writeAnswer(out, res.Answer)
+				}
+			}
+		}
+		prompt()
+	}
+	return scanner.Err()
+}
+
+// replCommand executes a dot command; it reports whether the REPL should
+// exit.
+func replCommand(db *logres.Database, cmd string, out io.Writer, registering *bool) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		fmt.Fprintln(out, "commands: ?- goal.   <module…end.>   .dump .schema .explain .modules")
+		fmt.Fprintln(out, "          .call NAME .register .save FILE .load FILE .quit")
+	case ".dump":
+		s, err := db.InstanceString()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprint(out, s)
+		}
+	case ".schema":
+		fmt.Fprint(out, db.Schema())
+	case ".explain":
+		s, err := db.Explain()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprint(out, s)
+		}
+	case ".modules":
+		for _, n := range db.Modules() {
+			fmt.Fprintln(out, " ", n)
+		}
+	case ".register":
+		*registering = true
+		fmt.Fprintln(out, "enter a named module terminated by end.")
+	case ".call":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .call NAME")
+			break
+		}
+		res, err := db.Call(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintf(out, "applied %s (%s)\n", fields[1], res.Mode)
+		if res.Answer != nil {
+			writeAnswer(out, res.Answer)
+		}
+	case ".save":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .save FILE")
+			break
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		err = db.Save(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprintln(out, "saved", fields[1])
+		}
+	case ".load":
+		fmt.Fprintln(out, "use `logres -load FILE` to start from a snapshot")
+	default:
+		fmt.Fprintf(out, "unknown command %s (try .help)\n", fields[0])
+	}
+	return false
+}
+
+func writeAnswer(out io.Writer, ans *logres.Answer) {
+	if len(ans.Vars) == 0 {
+		if len(ans.Rows) > 0 {
+			fmt.Fprintln(out, "yes")
+		} else {
+			fmt.Fprintln(out, "no")
+		}
+		return
+	}
+	fmt.Fprintln(out, strings.Join(ans.Vars, "\t"))
+	for _, row := range ans.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(out, "(%d answers)\n", len(ans.Rows))
+}

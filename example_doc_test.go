@@ -1,0 +1,104 @@
+package logres_test
+
+import (
+	"fmt"
+	"log"
+
+	"logres"
+)
+
+// The classic deductive-database introduction: facts, a recursive rule,
+// a goal.
+func Example() {
+	db, err := logres.Open(`
+domains NAME = string;
+associations
+  PARENT = (par: NAME, chil: NAME);
+  ANCESTOR = (anc: NAME, des: NAME);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  parent(par: "rhea", chil: "zeus").
+  parent(par: "zeus", chil: "ares").
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`
+mode radi.
+rules
+  ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+  ancestor(anc: X, des: Z) <- ancestor(anc: X, des: Y), parent(par: Y, chil: Z).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := db.Query(`?- ancestor(anc: "rhea", des: X).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range ans.Rows {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// "ares"
+	// "zeus"
+}
+
+// Object creation: an unbound self variable invents oids; the isa
+// hierarchy propagates membership with the shared oid.
+func ExampleDatabase_Exec_invention() {
+	db, err := logres.Open(`
+classes
+  PERSON = (name: string);
+  STUDENT = (PERSON, school: string);
+  STUDENT isa PERSON;
+associations INTAKE = (name: string);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  intake(name: "ann").
+  student(self: S, name: N, school: "polimi") <- intake(name: N).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	students, _ := db.Count("student")
+	persons, _ := db.Count("person")
+	fmt.Printf("students=%d persons=%d\n", students, persons)
+	// Output:
+	// students=1 persons=1
+}
+
+// Registered modules act as methods (§5): encapsulated procedures
+// invoked by name.
+func ExampleDatabase_Call() {
+	db, err := logres.Open(`associations COUNTER = (n: integer);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Register(`
+module init.
+mode ridv.
+rules
+  counter(n: 0).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Call("init"); err != nil {
+		log.Fatal(err)
+	}
+	n := db.EDBCount("counter")
+	fmt.Println("counters:", n)
+	// Output:
+	// counters: 1
+}

@@ -1,0 +1,93 @@
+// Football: the paper's Example 2.1 — classes with set and sequence
+// constructors, object sharing through oid components, and rule-derived
+// standings.
+//
+// PLAYER and TEAM are classes (objects with oids); GAME is an association
+// over team objects; the STANDING relation is derived by rules using
+// arithmetic and comparisons.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logres"
+)
+
+const schema = `
+domains
+  NAME = string;
+  ROLE = integer;
+  DATE = string;
+  SCORE = (home: integer, guest: integer);
+classes
+  PLAYER = (NAME, roles: {ROLE});
+  TEAM = (team_name: NAME, base_players: <PLAYER>, substitutes: {PLAYER});
+associations
+  GAME = (h_team: TEAM, g_team: TEAM, DATE, SCORE);
+  SIGNING = (team: NAME, player: NAME, role: ROLE);
+  FIXTURE = (home: NAME, guest: NAME, date: DATE, hgoals: integer, ggoals: integer);
+  WIN = (team: NAME, date: DATE);
+`
+
+func main() {
+	db, err := logres.Open(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the league: create player objects from signings, team objects
+	// with base-player sequences (here: singleton sequences for brevity),
+	// and game tuples referencing the team objects.
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  signing(team: "milan", player: "rossi", role: 9).
+  signing(team: "inter", player: "bianchi", role: 10).
+  player(self: P, name: N, roles: {R}) <- signing(player: N, role: R).
+  team(self: T, team_name: TN, base_players: <P>, substitutes: {})
+      <- signing(team: TN, player: PN), player(self: P, name: PN).
+
+  fixture(home: "milan", guest: "inter", date: "2026-05-01", hgoals: 2, ggoals: 1).
+  fixture(home: "inter", guest: "milan", date: "2026-05-08", hgoals: 0, ggoals: 3).
+  game(h_team: H, g_team: G, date: D, score: (home: HG, guest: GG))
+      <- fixture(home: HN, guest: GN, date: D, hgoals: HG, ggoals: GG),
+         team(self: H, team_name: HN), team(self: G, team_name: GN).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Derive the winners with persistent rules (note the nested tuple
+	// pattern on the SCORE component).
+	if _, err := db.Exec(`
+mode radi.
+rules
+  win(team: TN, date: D) <- game(h_team: H, date: D, score: (home: HG, guest: GG)),
+                            HG > GG, team(self: H, team_name: TN).
+  win(team: TN, date: D) <- game(g_team: G, date: D, score: (home: HG, guest: GG)),
+                            GG > HG, team(self: G, team_name: TN).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	ans, err := db.Query(`?- win(team: T, date: D).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wins:")
+	for _, row := range ans.Rows {
+		fmt.Printf("  %s on %s\n", row[0], row[1])
+	}
+
+	games, err := db.Count("game")
+	if err != nil {
+		log.Fatal(err)
+	}
+	players, err := db.Count("player")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d games, %d player objects\n", games, players)
+}

@@ -1,0 +1,94 @@
+// Genealogy: the paper's Examples 2.2 and 3.2 — data functions for
+// nesting (CHILDREN, DESC), a nullary function naming a type extension
+// (JUNIOR), and the nested ANCESTOR association built by recursion over a
+// data function.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logres"
+)
+
+const schema = `
+domains
+  NAME = string;
+  BDATE = integer;
+associations
+  PARENT = (father: NAME, child: NAME, bdate: BDATE);
+  PERSONREC = (name: NAME, age: integer);
+  ANCESTOR = (anc: NAME, des: {NAME});
+  JUNIORS = (name: NAME);
+functions
+  CHILDREN: NAME -> {(person: NAME, bdate: BDATE)};
+  DESC: NAME -> {NAME};
+  JUNIOR: -> {NAME};
+`
+
+func main() {
+	db, err := logres.Open(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  parent(father: "ugo", child: "sara", bdate: 1990).
+  parent(father: "ugo", child: "luca", bdate: 1992).
+  parent(father: "sara", child: "nina", bdate: 2015).
+  personrec(name: "nina", age: 11).
+  personrec(name: "sara", age: 36).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 2.2: CHILDREN nests (person, bdate) pairs per father;
+	// JUNIOR is a nullary function naming the juniors.
+	// Example 3.2: DESC computes descendants recursively; ANCESTOR nests
+	// the result into a set-valued component.
+	if _, err := db.Exec(`
+mode radi.
+rules
+  member(T, children(X)) <- parent(father: X, child: Y, bdate: Z),
+                            T = (person: Y, bdate: Z).
+  member(X, junior()) <- personrec(name: X, age: A), A <= 18.
+  juniors(name: X) <- member(X, T), T = junior().
+
+  member(X, desc(Y)) <- parent(father: Y, child: X).
+  member(X, desc(Y)) <- parent(father: Y, child: Z), member(X, T), T = desc(Z).
+  ancestor(anc: X, des: Y) <- parent(father: X), Y = desc(X).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	ans, err := db.Query(`?- ancestor(anc: A, des: D).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("descendant sets:")
+	for _, row := range ans.Rows {
+		fmt.Printf("  %s -> %s\n", row[0], row[1])
+	}
+
+	kids, err := db.Query(`?- juniors(name: X).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("juniors:")
+	for _, row := range kids.Rows {
+		fmt.Println("  ", row[0])
+	}
+
+	ch, err := db.Query(`?- member(T, children("ugo")), T = (person: P, bdate: B).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("children of ugo:")
+	for _, row := range ch.Rows {
+		fmt.Printf("  %s born %s\n", row[1], row[2])
+	}
+}

@@ -1,0 +1,46 @@
+// Powerset: the paper's Example 3.3 — computing the powerset of a
+// relation with the Append and Union built-ins (result-last convention of
+// Definition 6), demonstrating set-valued components and the inflationary
+// fixpoint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logres"
+)
+
+func main() {
+	db, err := logres.Open(`
+domains D = integer;
+associations
+  R = (d: D);
+  POWER = (set: {D});
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  r(d: 1). r(d: 2). r(d: 3). r(d: 4).
+
+  power(set: X) <- X = {}.
+  power(set: X) <- r(d: Y), append({}, Y, X).
+  power(set: X) <- power(set: Y), power(set: Z), union(Y, Z, X).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	ans, err := db.Query(`?- power(set: S).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("powerset of {1,2,3,4}: %d subsets\n", len(ans.Rows))
+	for _, row := range ans.Rows {
+		fmt.Println("  ", row[0])
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: open a database from type equations, load facts through a
+// data-variant module, add a derived-relation rule, and run a goal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logres"
+)
+
+func main() {
+	// 1. Type equations: one association. LOGRES schemas also support
+	//    classes with oids, hierarchies and data functions — see the other
+	//    examples.
+	db, err := logres.Open(`
+domains NAME = string;
+associations
+  PARENT = (par: NAME, chil: NAME);
+  GRANDPARENT = (gp: NAME, gc: NAME);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Insert facts with a RIDV (Rule Invariant, Data Variant) module.
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  parent(par: "nonna", chil: "mamma").
+  parent(par: "mamma", chil: "sara").
+  parent(par: "mamma", chil: "luca").
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Add a persistent rule with RADI (Rule Addition, Data Invariant).
+	if _, err := db.Exec(`
+mode radi.
+rules
+  grandparent(gp: X, gc: Z) <- parent(par: X, chil: Y), parent(par: Y, chil: Z).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Query.
+	ans, err := db.Query(`?- grandparent(gp: "nonna", gc: X).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("grandchildren of nonna:")
+	for _, row := range ans.Rows {
+		fmt.Println("  ", row[0])
+	}
+}

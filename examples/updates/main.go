@@ -1,0 +1,120 @@
+// Updates: §4 of the paper — the six module application modes driving the
+// evolution of a database state, including Example 4.1 (RIDV insertion
+// with a derivation rule acting as a trigger) and Example 4.2 (updating
+// tuples in place with a deletion head).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logres"
+)
+
+func main() {
+	db, err := logres.Open(`
+domains NAME = string;
+associations
+  ITALIAN = (name: NAME);
+  ROMAN = (name: NAME);
+  P = (d1: integer, d2: integer);
+  MODP = (d1: integer, d2: integer);
+  EVEN = (n: integer);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(stage string) {
+		italians := db.EDBCount("italian")
+		romans := db.EDBCount("roman")
+		fmt.Printf("%-28s E: italian=%d roman=%d, persistent rules=%d\n",
+			stage, italians, romans, db.RuleCount())
+	}
+
+	// Example 4.1. E0 = {italian(sara)}, R0 = ∅.
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  italian(name: "sara").
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	report("after seeding (RIDV)")
+
+	// Apply the paper's RIDV module: two facts and a rule. The rule acts
+	// as a trigger during the update, deriving italian(ugo), but is NOT
+	// added to the persistent rules.
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  italian(name: "luca").
+  roman(name: "ugo").
+  italian(name: X) <- roman(name: X).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	report("after Example 4.1 (RIDV)")
+
+	// RADI: make the derivation persistent instead; RDDI would remove it.
+	if _, err := db.Exec(`
+mode radi.
+rules
+  italian(name: X) <- roman(name: X).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	report("after RADI")
+
+	// A RIDI query sees both extensional and derived facts but changes
+	// nothing.
+	res, err := db.Exec(`
+goal
+  ?- italian(name: X).
+end.
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %d answers\n", "RIDI goal italian(X)", len(res.Answer.Rows))
+
+	// Example 4.2: add 1 to the second field of every tuple with an even
+	// first field, deleting the old tuples (deletion heads + guards).
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  p(d1: 1, d2: 1). p(d1: 2, d2: 2). p(d1: 3, d2: 3). p(d1: 4, d2: 4).
+  even(n: 2). even(n: 4).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  p(d1: X, d2: Z) <- p(d1: X, d2: Y), even(n: X), Z = Y + 1, not modp(d1: X, d2: Y).
+  modp(d1: X, d2: Z) <- p(d1: X, d2: Y), even(n: X), Z = Y + 1, not modp(d1: X, d2: Y).
+  not p(Y) <- p(Y), Y = (d1: X, d2: W), even(n: X), not modp(Y).
+end.
+`); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := db.Query(`?- p(d1: X, d2: Y).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Example 4.2 result (expected (1,1) (2,3) (3,3) (4,5)):")
+	for _, row := range ans.Rows {
+		fmt.Printf("  p(%s, %s)\n", row[0], row[1])
+	}
+
+	// Materialize: E becomes the full instance and the rules are cleared
+	// (the paper's trigger-style configuration, §4.2).
+	if err := db.Materialize(); err != nil {
+		log.Fatal(err)
+	}
+	report("after Materialize")
+}

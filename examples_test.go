@@ -1,0 +1,44 @@
+package logres
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main and checks a signature line
+// of its output, keeping the examples working end to end.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run the go tool")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", `grandchildren of nonna`},
+		{"./examples/football", `wins:`},
+		{"./examples/university", `interesting pair: employee "smith"`},
+		{"./examples/genealogy", `"ugo" -> {"luca", "nina", "sara"}`},
+		{"./examples/updates", `p(4, 5)`},
+		{"./examples/powerset", `16 subsets`},
+		{"./examples/library", `after restore, methods: [seed_accounts audit report]`},
+		{"./examples/registrar", `double-mark update rejected: true`},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("output of %s missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package logres
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// End-to-end robustness: random mutations of valid schema+module sources
+// driven through the full pipeline (parse → validate → compile → evaluate
+// with a small step bound) must never panic; errors of any kind are fine.
+
+var fuzzSchemas = []string{
+	`
+domains NAME = string;
+classes
+  PERSON = (name: NAME);
+  STUDENT = (PERSON, school: NAME);
+  STUDENT isa PERSON;
+associations
+  PARENT = (par: NAME, chil: NAME);
+functions
+  DESC: NAME -> {NAME};
+`,
+	`
+associations
+  EDGE = (src: integer, dst: integer);
+  TC = (src: integer, dst: integer);
+`,
+}
+
+var fuzzModules = []string{
+	`
+mode ridv.
+rules
+  parent(par: "a", chil: "b").
+  person(self: P, name: N) <- parent(par: N).
+  member(X, desc(Y)) <- parent(par: Y, chil: X).
+end.
+`,
+	`
+mode radi.
+rules
+  tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+  tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+  not edge(src: X, dst: X) <- edge(src: X, dst: X).
+  <- tc(src: 0, dst: 0).
+goal
+  ?- tc(src: X), X > 1.
+end.
+`,
+	`
+mode radv.
+semantics noninflationary.
+rules
+  edge(src: 1, dst: 2).
+  tc(T) <- tc(T).
+end.
+`,
+}
+
+func mutate(r *rand.Rand, src string) string {
+	alphabet := []byte(`abcXYZ0159 .,;:(){}[]<>"=+-*/_%?-<-` + "\n")
+	b := []byte(src)
+	for i := 0; i < 1+r.Intn(8); i++ {
+		if len(b) == 0 {
+			break
+		}
+		pos := r.Intn(len(b))
+		switch r.Intn(4) {
+		case 0:
+			b[pos] = alphabet[r.Intn(len(alphabet))]
+		case 1:
+			b = append(b[:pos], b[pos+1:]...)
+		case 2:
+			b = append(b[:pos], append([]byte{alphabet[r.Intn(len(alphabet))]}, b[pos:]...)...)
+		case 3:
+			b = b[:pos]
+		}
+	}
+	return string(b)
+}
+
+func TestPipelineNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Logf("panic with seed %d: %v", seed, rec)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		schemaSrc := fuzzSchemas[r.Intn(len(fuzzSchemas))]
+		modSrc := fuzzModules[r.Intn(len(fuzzModules))]
+		// Mutate one of the two (mutating both rarely gets past parsing).
+		if r.Intn(2) == 0 {
+			schemaSrc = mutate(r, schemaSrc)
+		} else {
+			modSrc = mutate(r, modSrc)
+		}
+		db, err := Open(schemaSrc, WithMaxSteps(200))
+		if err != nil {
+			return true
+		}
+		if _, err := db.Exec(modSrc); err != nil {
+			return true
+		}
+		_, _ = db.Query(`?- parent(par: X).`)
+		_, _ = db.InstanceString()
+		var sb strings.Builder
+		_ = db.Save(&sb2{&sb})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sb2 adapts strings.Builder to io.Writer without importing io in tests.
+type sb2 struct{ b *strings.Builder }
+
+func (w *sb2) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func TestPipelineUnmutatedModulesWork(t *testing.T) {
+	db, err := Open(fuzzSchemas[1], WithMaxSteps(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed edges so the denial in module 1 doesn't trip.
+	if _, err := db.Exec(`
+mode ridv.
+rules
+  edge(src: 1, dst: 2).
+end.
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(fuzzModules[1]); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Count("tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("tc = %d", n)
+	}
+}

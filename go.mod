@@ -1,0 +1,3 @@
+module logres
+
+go 1.22

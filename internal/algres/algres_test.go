@@ -1,0 +1,396 @@
+package algres
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"logres/internal/parser"
+	"logres/internal/value"
+)
+
+func edgeRel(pairs ...[2]int64) *Relation {
+	r := NewRelation("src", "dst")
+	for _, p := range pairs {
+		r.InsertValues(value.Int(p[0]), value.Int(p[1]))
+	}
+	return r
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("a", "b")
+	if !r.InsertValues(value.Int(1), value.Str("x")) {
+		t.Fatal("insert reported no growth")
+	}
+	if r.InsertValues(value.Int(1), value.Str("x")) {
+		t.Fatal("duplicate insert grew the relation")
+	}
+	if r.Len() != 1 || !r.HasAttr("a") || r.HasAttr("z") {
+		t.Fatal("basic accessors wrong")
+	}
+	// Insertion normalizes attribute order.
+	r.Insert(value.NewTuple(
+		value.Field{Label: "b", Value: value.Str("y")},
+		value.Field{Label: "a", Value: value.Int(2)},
+	))
+	tup := r.Tuples()[0]
+	if tup.Field(0).Label != "a" {
+		t.Fatalf("normalization failed: %v", tup)
+	}
+	cp := r.Clone()
+	cp.InsertValues(value.Int(9), value.Str("z"))
+	if r.Len() == cp.Len() {
+		t.Fatal("clone shares storage")
+	}
+	if !r.Equal(r.Clone()) || r.Equal(cp) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestSelectProjectRename(t *testing.T) {
+	r := edgeRel([2]int64{1, 2}, [2]int64{2, 3}, [2]int64{1, 1})
+	sel := SelectEqConst(r, "src", value.Int(1))
+	if sel.Len() != 2 {
+		t.Fatalf("select = %d", sel.Len())
+	}
+	eq := SelectEqAttr(r, "src", "dst")
+	if eq.Len() != 1 {
+		t.Fatalf("selectEqAttr = %d", eq.Len())
+	}
+	p, err := Project(r, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 { // duplicates eliminated
+		t.Fatalf("project = %d", p.Len())
+	}
+	if _, err := Project(r, "zzz"); err == nil {
+		t.Fatal("bad project accepted")
+	}
+	rn := Rename(r, map[string]string{"src": "from"})
+	if !rn.HasAttr("from") || rn.HasAttr("src") {
+		t.Fatal("rename wrong")
+	}
+}
+
+func TestJoinAndAntiJoin(t *testing.T) {
+	l := edgeRel([2]int64{1, 2}, [2]int64{2, 3})
+	r := NewRelation("dst", "w")
+	r.InsertValues(value.Int(2), value.Str("x"))
+	j := Join(l, r)
+	if j.Len() != 1 {
+		t.Fatalf("join = %d", j.Len())
+	}
+	tup := j.Tuples()[0]
+	if v, _ := tup.Get("w"); v != value.Str("x") {
+		t.Fatalf("join tuple = %v", tup)
+	}
+	// Cartesian product when no shared attributes.
+	q := NewRelation("z")
+	q.InsertValues(value.Int(7))
+	q.InsertValues(value.Int(8))
+	prod := Join(l, q)
+	if prod.Len() != 4 {
+		t.Fatalf("product = %d", prod.Len())
+	}
+	aj := AntiJoin(l, r)
+	if aj.Len() != 1 {
+		t.Fatalf("antijoin = %d", aj.Len())
+	}
+	if v, _ := aj.Tuples()[0].Get("dst"); v != value.Int(3) {
+		t.Fatalf("antijoin tuple = %v", aj.Tuples()[0])
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := edgeRel([2]int64{1, 2}, [2]int64{2, 3})
+	b := edgeRel([2]int64{2, 3}, [2]int64{3, 4})
+	u, err := Union(a, b)
+	if err != nil || u.Len() != 3 {
+		t.Fatalf("union = %v %v", u.Len(), err)
+	}
+	d, err := Diff(a, b)
+	if err != nil || d.Len() != 1 {
+		t.Fatalf("diff = %v %v", d.Len(), err)
+	}
+	i, err := Intersect(a, b)
+	if err != nil || i.Len() != 1 {
+		t.Fatalf("intersect = %v %v", i.Len(), err)
+	}
+	bad := NewRelation("x")
+	if _, err := Union(a, bad); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	r := edgeRel([2]int64{1, 2})
+	e := Extend(r, "sum", func(t value.Tuple) value.Value {
+		a, _ := t.Get("src")
+		b, _ := t.Get("dst")
+		return value.Int(int64(a.(value.Int)) + int64(b.(value.Int)))
+	})
+	if v, _ := e.Tuples()[0].Get("sum"); v != value.Int(3) {
+		t.Fatalf("extend = %v", e.Tuples()[0])
+	}
+}
+
+func TestNestUnnestRoundTrip(t *testing.T) {
+	r := edgeRel([2]int64{1, 2}, [2]int64{1, 3}, [2]int64{2, 4})
+	n, err := Nest(r, []string{"dst"}, "dsts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2 {
+		t.Fatalf("nest = %d groups", n.Len())
+	}
+	for _, tup := range n.Tuples() {
+		src, _ := tup.Get("src")
+		ds, _ := tup.Get("dsts")
+		set := ds.(value.Set)
+		if src == value.Int(1) && set.Len() != 2 {
+			t.Fatalf("group 1 = %v", set)
+		}
+	}
+	u, err := Unnest(n, "dsts", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip restores the original tuples (module attribute order).
+	back, err := Project(u, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("unnest = %d", back.Len())
+	}
+	if _, err := Unnest(r, "src", "x"); err == nil {
+		t.Fatal("unnest of scalar accepted")
+	}
+}
+
+// Property: nest then unnest preserves the tuple set for random binary
+// relations.
+func TestNestUnnestProperty(t *testing.T) {
+	f := func(pairs [][2]int8) bool {
+		r := NewRelation("src", "dst")
+		for _, p := range pairs {
+			r.InsertValues(value.Int(int64(p[0])), value.Int(int64(p[1])))
+		}
+		n, err := Nest(r, []string{"dst"}, "g")
+		if err != nil {
+			return false
+		}
+		u, err := Unnest(n, "g", "dst")
+		if err != nil {
+			return false
+		}
+		back, err := Project(u, "src", "dst")
+		if err != nil {
+			return false
+		}
+		return back.Equal(r) || (r.Len() == 0 && back.Len() == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAggregate(t *testing.T) {
+	r := edgeRel([2]int64{1, 2}, [2]int64{1, 4}, [2]int64{2, 10})
+	for _, tc := range []struct {
+		agg  AggKind
+		want map[int64]int64
+	}{
+		{AggCount, map[int64]int64{1: 2, 2: 1}},
+		{AggSum, map[int64]int64{1: 6, 2: 10}},
+		{AggMin, map[int64]int64{1: 2, 2: 10}},
+		{AggMax, map[int64]int64{1: 4, 2: 10}},
+	} {
+		g, err := GroupAggregate(r, []string{"src"}, tc.agg, "dst", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tup := range g.Tuples() {
+			src, _ := tup.Get("src")
+			v, _ := tup.Get("v")
+			if want := tc.want[int64(src.(value.Int))]; v != value.Int(want) {
+				t.Errorf("agg %v group %v = %v, want %d", tc.agg, src, v, want)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	edges := edgeRel([2]int64{1, 2}, [2]int64{2, 3}, [2]int64{3, 4})
+	tc, err := TransitiveClosure(edges, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 6 {
+		t.Fatalf("closure = %d, want 6", tc.Len())
+	}
+	probe := NewRelation("src", "dst")
+	probe.InsertValues(value.Int(1), value.Int(4))
+	if !tc.Has(probe.Tuples()[0]) {
+		t.Fatal("1->4 missing")
+	}
+}
+
+func TestFixpointDivergenceGuard(t *testing.T) {
+	db := NewDB()
+	counterRel := NewRelation("n")
+	counterRel.InsertValues(value.Int(0))
+	db.Set("n", counterRel)
+	_, err := Fixpoint(db, func(cur *DB) (map[string]*Relation, error) {
+		n, _ := cur.Get("n")
+		out := NewRelation("n")
+		for _, t := range n.Tuples() {
+			v, _ := t.Get("n")
+			out.InsertValues(value.Int(int64(v.(value.Int)) + 1))
+		}
+		return map[string]*Relation{"n": out}, nil
+	}, 10)
+	if err == nil || !strings.Contains(err.Error(), "converge") {
+		t.Fatalf("divergence not caught: %v", err)
+	}
+}
+
+func compileTC(t *testing.T) *RuleProgram {
+	t.Helper()
+	rules, err := parser.ParseProgram(`
+tc(a: X, b: Y) <- edge(a: X, b: Y).
+tc(a: X, b: Z) <- tc(a: X, b: Y), edge(a: Y, b: Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileRules(map[string][]string{
+		"edge": {"a", "b"},
+		"tc":   {"a", "b"},
+	}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+func chainDB(n int) *DB {
+	db := NewDB()
+	e := NewRelation("a", "b")
+	for i := 0; i < n; i++ {
+		e.InsertValues(value.Int(int64(i)), value.Int(int64(i+1)))
+	}
+	db.Set("edge", e)
+	return db
+}
+
+func TestCompiledRulesNaive(t *testing.T) {
+	rp := compileTC(t)
+	out, err := rp.EvalNaive(chainDB(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := out.Get("tc")
+	if tc.Len() != 10 { // 4+3+2+1
+		t.Fatalf("tc = %d, want 10", tc.Len())
+	}
+}
+
+func TestCompiledRulesSemiNaiveAgrees(t *testing.T) {
+	rp := compileTC(t)
+	n, err := rp.EvalNaive(chainDB(6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rp.EvalSemiNaive(chainDB(6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := n.Get("tc")
+	ts, _ := s.Get("tc")
+	if !tn.Equal(ts) {
+		t.Fatalf("naive %d vs semi-naive %d", tn.Len(), ts.Len())
+	}
+}
+
+func TestCompiledNegationAndComparison(t *testing.T) {
+	rules, err := parser.ParseProgram(`
+big(a: X) <- node(a: X), X > 2, not small(a: X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileRules(map[string][]string{
+		"node": {"a"}, "small": {"a"}, "big": {"a"},
+	}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	nodes := NewRelation("a")
+	for i := int64(1); i <= 5; i++ {
+		nodes.InsertValues(value.Int(i))
+	}
+	small := NewRelation("a")
+	small.InsertValues(value.Int(4))
+	db.Set("node", nodes)
+	db.Set("small", small)
+	out, err := rp.EvalNaive(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _ := out.Get("big")
+	if big.Len() != 2 { // 3 and 5
+		t.Fatalf("big = %d: %s", big.Len(), big)
+	}
+}
+
+func TestCompiledConstantsAndDuplicateVars(t *testing.T) {
+	rules, err := parser.ParseProgram(`
+loop(a: X) <- edge(a: X, b: X).
+fromone(b: Y) <- edge(a: 1, b: Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := CompileRules(map[string][]string{
+		"edge": {"a", "b"}, "loop": {"a"}, "fromone": {"b"},
+	}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	e := edgeRel([2]int64{1, 2}, [2]int64{3, 3})
+	db.Set("edge", Rename(e, map[string]string{"src": "a", "dst": "b"}))
+	out, err := rp.EvalNaive(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, _ := out.Get("loop")
+	if loop.Len() != 1 {
+		t.Fatalf("loop = %d", loop.Len())
+	}
+	f1, _ := out.Get("fromone")
+	if f1.Len() != 1 {
+		t.Fatalf("fromone = %d", f1.Len())
+	}
+}
+
+func TestCompilerRejections(t *testing.T) {
+	schemas := map[string][]string{"p": {"a"}, "q": {"a"}}
+	for _, src := range []string{
+		`p(a: X) <- q(a: Y).`,              // unsafe head
+		`not p(a: X) <- q(a: X).`,          // deletion head
+		`<- q(a: X).`,                      // denial
+		`p(a: X) <- q(a: X), not r(a: X).`, // unknown relation
+	} {
+		rules, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CompileRules(schemas, rules); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}

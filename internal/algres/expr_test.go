@@ -1,0 +1,344 @@
+package algres
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"logres/internal/value"
+)
+
+func exprDB() (*DB, map[string][]string) {
+	db := NewDB()
+	emp := NewRelation("name", "dept", "salary")
+	emp.InsertValues(value.Str("ann"), value.Str("eng"), value.Int(90))
+	emp.InsertValues(value.Str("bob"), value.Str("eng"), value.Int(70))
+	emp.InsertValues(value.Str("cho"), value.Str("ops"), value.Int(80))
+	dept := NewRelation("dept", "city")
+	dept.InsertValues(value.Str("eng"), value.Str("milano"))
+	dept.InsertValues(value.Str("ops"), value.Str("roma"))
+	db.Set("emp", emp)
+	db.Set("dept", dept)
+	cat := map[string][]string{
+		"emp":  {"name", "dept", "salary"},
+		"dept": {"dept", "city"},
+	}
+	return db, cat
+}
+
+func TestExprEval(t *testing.T) {
+	db, _ := exprDB()
+	e := ProjectE{
+		Input: SelectE{
+			Input: JoinE{L: Scan{Name: "emp"}, R: Scan{Name: "dept"}},
+			Cond: And{
+				L: EqConst{Attr: "city", Val: value.Str("milano")},
+				R: Cmp{Op: ">", Attr: "salary", Val: value.Int(75)},
+			},
+		},
+		Cols: []string{"name"},
+	}
+	out, err := e.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("result = %s", out)
+	}
+	if v, _ := out.Tuples()[0].Get("name"); v != value.Str("ann") {
+		t.Fatalf("result = %s", out)
+	}
+}
+
+func TestExprConditions(t *testing.T) {
+	tup := value.NewTuple(
+		value.Field{Label: "a", Value: value.Int(1)},
+		value.Field{Label: "b", Value: value.Int(1)},
+		value.Field{Label: "c", Value: value.Int(5)},
+	)
+	cases := []struct {
+		c    Cond
+		want bool
+	}{
+		{EqConst{Attr: "a", Val: value.Int(1)}, true},
+		{EqConst{Attr: "a", Val: value.Int(2)}, false},
+		{EqAttr{A: "a", B: "b"}, true},
+		{EqAttr{A: "a", B: "c"}, false},
+		{Cmp{Op: "<", Attr: "c", Val: value.Int(9)}, true},
+		{Cmp{Op: ">=", Attr: "c", Val: value.Int(5)}, true},
+		{Cmp{Op: "!=", Attr: "c", Val: value.Int(5)}, false},
+		{And{L: EqAttr{A: "a", B: "b"}, R: Cmp{Op: ">", Attr: "c", Val: value.Int(1)}}, true},
+		{Or{L: EqConst{Attr: "a", Val: value.Int(9)}, R: EqAttr{A: "a", B: "b"}}, true},
+		{Not{C: EqAttr{A: "a", B: "b"}}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Holds(tup); got != c.want {
+			t.Errorf("%s = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestExprSetOpsAndRename(t *testing.T) {
+	db, _ := exprDB()
+	eng := SelectE{Input: Scan{Name: "emp"}, Cond: EqConst{Attr: "dept", Val: value.Str("eng")}}
+	rich := SelectE{Input: Scan{Name: "emp"}, Cond: Cmp{Op: ">=", Attr: "salary", Val: value.Int(80)}}
+	u, err := (UnionE{L: eng, R: rich}).Eval(db)
+	if err != nil || u.Len() != 3 {
+		t.Fatalf("union = %v (%v)", u.Len(), err)
+	}
+	d, err := (DiffE{L: eng, R: rich}).Eval(db)
+	if err != nil || d.Len() != 1 {
+		t.Fatalf("diff = %v (%v)", d.Len(), err)
+	}
+	i, err := (IntersectE{L: eng, R: rich}).Eval(db)
+	if err != nil || i.Len() != 1 {
+		t.Fatalf("intersect = %v (%v)", i.Len(), err)
+	}
+	rn, err := (RenameE{Input: Scan{Name: "dept"}, Mapping: map[string]string{"city": "location"}}).Eval(db)
+	if err != nil || !rn.HasAttr("location") {
+		t.Fatalf("rename = %v (%v)", rn.Attrs(), err)
+	}
+}
+
+func TestExprGroupNest(t *testing.T) {
+	db, _ := exprDB()
+	g, err := (GroupE{Input: Scan{Name: "emp"}, By: []string{"dept"}, Agg: AggSum, Over: "salary", As: "total"}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range g.Tuples() {
+		d, _ := tup.Get("dept")
+		total, _ := tup.Get("total")
+		if d == value.Str("eng") && total != value.Int(160) {
+			t.Fatalf("eng total = %v", total)
+		}
+	}
+	n, err := (NestE{Input: Scan{Name: "emp"}, Nested: []string{"name", "salary"}, As: "staff"}).Eval(db)
+	if err != nil || n.Len() != 2 {
+		t.Fatalf("nest = %v (%v)", n.Len(), err)
+	}
+	un, err := (UnnestE{Input: NestE{Input: Scan{Name: "emp"}, Nested: []string{"name"}, As: "g"}, Attr: "g", As: "name"}).Eval(db)
+	if err != nil || un.Len() != 3 {
+		t.Fatalf("unnest = %v (%v)", un.Len(), err)
+	}
+}
+
+func TestExprFixClosure(t *testing.T) {
+	db := NewDB()
+	edge := NewRelation("a", "b")
+	for i := int64(0); i < 4; i++ {
+		edge.InsertValues(value.Int(i), value.Int(i+1))
+	}
+	db.Set("edge", edge)
+	tc := FixE{
+		Name: "tc",
+		Base: Scan{Name: "edge"},
+		Step: RenameE{
+			Input: ProjectE{
+				Input: JoinE{
+					L: RenameE{Input: Scan{Name: "tc"}, Mapping: map[string]string{"b": "m"}},
+					R: RenameE{Input: Scan{Name: "edge"}, Mapping: map[string]string{"a": "m"}},
+				},
+				Cols: []string{"a", "b"},
+			},
+			Mapping: map[string]string{},
+		},
+	}
+	out, err := tc.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("closure = %d, want 10", out.Len())
+	}
+}
+
+func TestExprAttrs(t *testing.T) {
+	_, cat := exprDB()
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Scan{Name: "emp"}, "name,dept,salary"},
+		{ProjectE{Input: Scan{Name: "emp"}, Cols: []string{"name"}}, "name"},
+		{JoinE{L: Scan{Name: "emp"}, R: Scan{Name: "dept"}}, "name,dept,salary,city"},
+		{RenameE{Input: Scan{Name: "dept"}, Mapping: map[string]string{"dept": "d"}}, "d,city"},
+		{NestE{Input: Scan{Name: "emp"}, Nested: []string{"name"}, As: "g"}, "dept,salary,g"},
+		{UnnestE{Input: Scan{Name: "emp"}, Attr: "salary", As: "s"}, "name,dept,s"},
+		{GroupE{Input: Scan{Name: "emp"}, By: []string{"dept"}, Agg: AggCount, Over: "name", As: "n"}, "dept,n"},
+	}
+	for _, c := range cases {
+		got, err := c.e.Attrs(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(got, ",") != c.want {
+			t.Errorf("%s attrs = %v, want %s", c.e, got, c.want)
+		}
+	}
+	if _, err := (Scan{Name: "nope"}).Attrs(cat); err == nil {
+		t.Fatal("unknown scan attrs accepted")
+	}
+}
+
+func TestOptimizerPushdownOverJoin(t *testing.T) {
+	_, cat := exprDB()
+	e := SelectE{
+		Input: JoinE{L: Scan{Name: "emp"}, R: Scan{Name: "dept"}},
+		Cond: And{
+			L: EqConst{Attr: "salary", Val: value.Int(90)},     // left side only
+			R: EqConst{Attr: "city", Val: value.Str("milano")}, // right side only
+		},
+	}
+	opt := Optimize(e, cat)
+	s := opt.String()
+	// The selections must sit below the join now.
+	if !strings.Contains(s, "join") {
+		t.Fatalf("optimized = %s", s)
+	}
+	if strings.HasPrefix(s, "select") {
+		t.Fatalf("selection not pushed below join: %s", s)
+	}
+	// Results agree.
+	db, _ := exprDB()
+	r1, err := e.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := opt.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatalf("optimizer changed the result:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+func TestOptimizerCascades(t *testing.T) {
+	_, cat := exprDB()
+	e := SelectE{
+		Input: SelectE{
+			Input: Scan{Name: "emp"},
+			Cond:  Cmp{Op: ">", Attr: "salary", Val: value.Int(60)},
+		},
+		Cond: EqConst{Attr: "dept", Val: value.Str("eng")},
+	}
+	opt := Optimize(e, cat)
+	if strings.Count(opt.String(), "select") != 1 {
+		t.Fatalf("selection cascade not merged: %s", opt)
+	}
+	p := ProjectE{
+		Input: ProjectE{Input: Scan{Name: "emp"}, Cols: []string{"name", "dept"}},
+		Cols:  []string{"name"},
+	}
+	popt := Optimize(p, cat)
+	if strings.Count(popt.String(), "project") != 1 {
+		t.Fatalf("projection cascade not fused: %s", popt)
+	}
+}
+
+func TestOptimizerProjectionPushdown(t *testing.T) {
+	db, cat := exprDB()
+	e := ProjectE{
+		Input: JoinE{L: Scan{Name: "emp"}, R: Scan{Name: "dept"}},
+		Cols:  []string{"name", "city"},
+	}
+	opt := Optimize(e, cat)
+	// Each join side should be narrowed (salary dropped on the left).
+	if !strings.Contains(opt.String(), "project[name,dept](emp)") {
+		t.Fatalf("left side not narrowed: %s", opt)
+	}
+	r1, err := e.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := opt.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatal("projection pushdown changed the result")
+	}
+}
+
+func TestOptimizerSetOpPushdown(t *testing.T) {
+	db, cat := exprDB()
+	e := SelectE{
+		Input: UnionE{L: Scan{Name: "emp"}, R: Scan{Name: "emp"}},
+		Cond:  EqConst{Attr: "dept", Val: value.Str("eng")},
+	}
+	opt := Optimize(e, cat)
+	if strings.HasPrefix(opt.String(), "select") {
+		t.Fatalf("selection not pushed into union: %s", opt)
+	}
+	r1, _ := e.Eval(db)
+	r2, err := opt.Eval(db)
+	if err != nil || !r1.Equal(r2) {
+		t.Fatalf("set-op pushdown wrong (%v)", err)
+	}
+}
+
+// Property: optimization preserves results for random select-join-project
+// pipelines.
+func TestOptimizerSoundnessProperty(t *testing.T) {
+	db, cat := exprDB()
+	f := func(sal uint8, pickCity, pickProj bool) bool {
+		var cond Cond = Cmp{Op: ">", Attr: "salary", Val: value.Int(int64(sal % 100))}
+		if pickCity {
+			cond = And{L: cond, R: EqConst{Attr: "city", Val: value.Str("milano")}}
+		}
+		var e Expr = SelectE{
+			Input: JoinE{L: Scan{Name: "emp"}, R: Scan{Name: "dept"}},
+			Cond:  cond,
+		}
+		if pickProj {
+			e = ProjectE{Input: e, Cols: []string{"name", "city"}}
+		}
+		opt := Optimize(e, cat)
+		r1, err1 := e.Eval(db)
+		r2, err2 := opt.Eval(db)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Equal(r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizerInsideFix(t *testing.T) {
+	db := NewDB()
+	edge := NewRelation("a", "b")
+	for i := int64(0); i < 5; i++ {
+		edge.InsertValues(value.Int(i), value.Int(i+1))
+	}
+	db.Set("edge", edge)
+	cat := map[string][]string{"edge": {"a", "b"}}
+	tc := FixE{
+		Name: "tc",
+		Base: Scan{Name: "edge"},
+		Step: SelectE{ // a silly always-true selection to be rewritten
+			Input: SelectE{
+				Input: ProjectE{
+					Input: JoinE{
+						L: RenameE{Input: Scan{Name: "tc"}, Mapping: map[string]string{"b": "m"}},
+						R: RenameE{Input: Scan{Name: "edge"}, Mapping: map[string]string{"a": "m"}},
+					},
+					Cols: []string{"a", "b"},
+				},
+				Cond: Cmp{Op: ">=", Attr: "a", Val: value.Int(0)},
+			},
+			Cond: Cmp{Op: ">=", Attr: "b", Val: value.Int(0)},
+		},
+	}
+	opt := Optimize(tc, cat)
+	r1, err1 := tc.Eval(db)
+	r2, err2 := opt.Eval(db)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !r1.Equal(r2) {
+		t.Fatal("fix optimization changed the result")
+	}
+}

@@ -1,0 +1,81 @@
+package algres
+
+import "fmt"
+
+// The liberal closure operator. ALGRES exposes a fixpoint construct whose
+// body is an arbitrary algebra expression over the database; the paper
+// ("the very liberal structure of the closure operation in ALGRES makes
+// it possible to change the semantics of rules very easily") relies on it
+// to prototype the various rule semantics. Step receives the current
+// database and returns the relations to merge; Fixpoint iterates to
+// convergence.
+
+// StepFunc computes one closure step: given the current database it
+// returns new contents for some relations (unioned into the database).
+type StepFunc func(db *DB) (map[string]*Relation, error)
+
+// Fixpoint iterates step until the database stops changing, up to
+// maxSteps (0 = 1e6).
+func Fixpoint(db *DB, step StepFunc, maxSteps int) (*DB, error) {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	cur := db.Clone()
+	for i := 0; i < maxSteps; i++ {
+		updates, err := step(cur)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for name, add := range updates {
+			dst, ok := cur.Get(name)
+			if !ok {
+				dst = NewRelation(add.Attrs()...)
+				cur.Set(name, dst)
+			}
+			for _, t := range add.Tuples() {
+				if dst.Insert(t) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return cur, nil
+		}
+	}
+	return nil, fmt.Errorf("algres: fixpoint did not converge within %d steps", maxSteps)
+}
+
+// TransitiveClosure is the classic closure instance: given a binary
+// relation over (from, to), it computes its transitive closure.
+func TransitiveClosure(edges *Relation, from, to string) (*Relation, error) {
+	if !edges.HasAttr(from) || !edges.HasAttr(to) {
+		return nil, fmt.Errorf("algres: closure: missing attributes %q/%q", from, to)
+	}
+	base, err := Project(edges, from, to)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB()
+	db.Set("tc", base.Clone())
+	db.Set("edge", base)
+	result, err := Fixpoint(db, func(db *DB) (map[string]*Relation, error) {
+		tc, _ := db.Get("tc")
+		e, _ := db.Get("edge")
+		// tc(from, to) ⋈ edge(to=from', to') — rename to line up the join.
+		mid := Rename(tc, map[string]string{from: "$a", to: "$m"})
+		step := Rename(e, map[string]string{from: "$m", to: "$b"})
+		joined := Join(mid, step)
+		proj, err := Project(joined, "$a", "$b")
+		if err != nil {
+			return nil, err
+		}
+		next := Rename(proj, map[string]string{"$a": from, "$b": to})
+		return map[string]*Relation{"tc": next}, nil
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	tc, _ := result.Get("tc")
+	return tc, nil
+}

@@ -1,0 +1,183 @@
+// Package algres implements the ALGRES substrate the paper prototypes
+// LOGRES on (§1, §5): a main-memory extended relational algebra over NF²
+// (non-first-normal-form) relations — selection, projection, renaming,
+// natural join, set operations, extension, nesting/unnesting, grouping
+// with aggregates, and a liberal fixpoint (closure) operator. A compiler
+// from flat Datalog rules to algebra expressions reproduces the paper's
+// implementation strategy ("translation of the LOGRES data model into the
+// relational one").
+package algres
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"logres/internal/value"
+)
+
+// Relation is an NF² relation: a named attribute list and a set of tuples.
+// Attribute values may themselves be tuples, sets, multisets or sequences.
+type Relation struct {
+	attrs []string
+	rows  map[string]value.Tuple
+}
+
+// NewRelation returns an empty relation with the given attributes.
+func NewRelation(attrs ...string) *Relation {
+	as := make([]string, len(attrs))
+	copy(as, attrs)
+	return &Relation{attrs: as, rows: map[string]value.Tuple{}}
+}
+
+// Attrs returns the attribute names in order.
+func (r *Relation) Attrs() []string {
+	out := make([]string, len(r.attrs))
+	copy(out, r.attrs)
+	return out
+}
+
+// HasAttr reports whether the relation has the named attribute.
+func (r *Relation) HasAttr(name string) bool {
+	for _, a := range r.attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds a tuple. The tuple is normalized to the relation's attribute
+// order; missing attributes become null. It reports whether the relation
+// grew.
+func (r *Relation) Insert(t value.Tuple) bool {
+	norm := r.normalize(t)
+	k := norm.Key()
+	if _, ok := r.rows[k]; ok {
+		return false
+	}
+	r.rows[k] = norm
+	return true
+}
+
+// InsertValues adds a tuple given positionally.
+func (r *Relation) InsertValues(vals ...value.Value) bool {
+	if len(vals) != len(r.attrs) {
+		panic(fmt.Sprintf("algres: %d values for %d attributes", len(vals), len(r.attrs)))
+	}
+	fields := make([]value.Field, len(vals))
+	for i, v := range vals {
+		fields[i] = value.Field{Label: r.attrs[i], Value: v}
+	}
+	return r.Insert(value.NewTuple(fields...))
+}
+
+// Has reports membership.
+func (r *Relation) Has(t value.Tuple) bool {
+	_, ok := r.rows[r.normalize(t).Key()]
+	return ok
+}
+
+func (r *Relation) normalize(t value.Tuple) value.Tuple {
+	fields := make([]value.Field, len(r.attrs))
+	for i, a := range r.attrs {
+		v, ok := t.Get(a)
+		if !ok {
+			v = value.Null{}
+		}
+		fields[i] = value.Field{Label: a, Value: v}
+	}
+	return value.NewTuple(fields...)
+}
+
+// Tuples returns the tuples in canonical order.
+func (r *Relation) Tuples() []value.Tuple {
+	keys := make([]string, 0, len(r.rows))
+	for k := range r.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]value.Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.rows[k]
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy (tuples are immutable).
+func (r *Relation) Clone() *Relation {
+	n := NewRelation(r.attrs...)
+	for k, t := range r.rows {
+		n.rows[k] = t
+	}
+	return n
+}
+
+// Equal reports whether two relations hold exactly the same tuples over
+// the same attributes.
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.attrs) != len(o.attrs) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	for k := range r.rows {
+		if _, ok := o.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation deterministically.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString("(" + strings.Join(r.attrs, ", ") + ")\n")
+	for _, t := range r.Tuples() {
+		b.WriteString("  " + t.String() + "\n")
+	}
+	return b.String()
+}
+
+// DB is a named collection of relations — the evaluation environment of
+// algebra expressions.
+type DB struct {
+	rels map[string]*Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: map[string]*Relation{}} }
+
+// Set binds a relation name.
+func (db *DB) Set(name string, r *Relation) { db.rels[name] = r }
+
+// Get returns the named relation.
+func (db *DB) Get(name string) (*Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Names returns the bound names, sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a copy sharing no relation structure.
+func (db *DB) Clone() *DB {
+	n := NewDB()
+	for name, r := range db.rels {
+		n.rels[name] = r.Clone()
+	}
+	return n
+}

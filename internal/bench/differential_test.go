@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logres/internal/algres"
+	"logres/internal/datalog"
+	"logres/internal/engine"
+	"logres/internal/parser"
+	"logres/internal/value"
+)
+
+// Three-way differential testing: random flat Datalog programs evaluated
+// by the LOGRES engine, the ALGRES algebra compiler, and the flat Datalog
+// baseline must produce identical relations. This pins the three
+// implementations of the shared fragment against each other.
+
+// randProgram generates a random positive program over binary relations
+// r0..r2 and two IDB predicates p0, p1 with 2–5 rules.
+type randProgram struct {
+	src   string
+	rules int
+}
+
+func genProgram(r *rand.Rand) randProgram {
+	edbs := []string{"r0", "r1", "r2"}
+	idbs := []string{"p0", "p1"}
+	nRules := 2 + r.Intn(4)
+	src := ""
+	for i := 0; i < nRules; i++ {
+		head := idbs[r.Intn(len(idbs))]
+		// 1–3 body literals over EDBs and (for recursion) IDBs.
+		nLits := 1 + r.Intn(3)
+		vars := []string{"X", "Y", "Z", "W"}
+		headA := vars[r.Intn(2)]
+		headB := vars[r.Intn(2)+1]
+		body := ""
+		for j := 0; j < nLits; j++ {
+			var pred string
+			if j == 0 || r.Intn(3) > 0 {
+				pred = edbs[r.Intn(len(edbs))]
+			} else {
+				pred = idbs[r.Intn(len(idbs))]
+			}
+			a := vars[r.Intn(3)]
+			b := vars[r.Intn(3)]
+			if j > 0 {
+				body += ", "
+			}
+			body += fmt.Sprintf("%s(a: %s, b: %s)", pred, a, b)
+		}
+		// Ensure head variables are bound: append one literal binding both.
+		body += fmt.Sprintf(", %s(a: %s, b: %s)", edbs[r.Intn(len(edbs))], headA, headB)
+		src += fmt.Sprintf("%s(a: %s, b: %s) <- %s.\n", head, headA, headB, body)
+	}
+	return randProgram{src: src, rules: nRules}
+}
+
+func genFacts(r *rand.Rand, n int) [][3]int {
+	var out [][3]int // relation index, a, b
+	for i := 0; i < n; i++ {
+		out = append(out, [3]int{r.Intn(3), r.Intn(4), r.Intn(4)})
+	}
+	return out
+}
+
+func TestDifferentialThreeWay(t *testing.T) {
+	schemas := map[string][]string{
+		"r0": {"a", "b"}, "r1": {"a", "b"}, "r2": {"a", "b"},
+		"p0": {"a", "b"}, "p1": {"a", "b"},
+	}
+	moduleSrc := `
+associations
+  R0 = (a: integer, b: integer);
+  R1 = (a: integer, b: integer);
+  R2 = (a: integer, b: integer);
+  P0 = (a: integer, b: integer);
+  P1 = (a: integer, b: integer);
+`
+	m, err := parser.ParseModule(moduleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := genProgram(r)
+		facts := genFacts(r, 6+r.Intn(10))
+		rules, err := parser.ParseProgram(prog.src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, prog.src)
+		}
+
+		// 1. LOGRES engine.
+		eng, err := engine.Compile(m.Schema, rules, engine.DefaultOptions())
+		if err != nil {
+			t.Fatalf("engine compile: %v\n%s", err, prog.src)
+		}
+		edb := engine.NewFactSet()
+		for _, f := range facts {
+			edb.Add(engine.Fact{Pred: fmt.Sprintf("r%d", f[0]), Tuple: value.NewTuple(
+				value.Field{Label: "a", Value: value.Int(int64(f[1]))},
+				value.Field{Label: "b", Value: value.Int(int64(f[2]))},
+			)})
+		}
+		counter := int64(0)
+		engOut, err := eng.Run(edb, &counter)
+		if err != nil {
+			t.Fatalf("engine run: %v\n%s", err, prog.src)
+		}
+
+		// 2. ALGRES compiler.
+		rp, err := algres.CompileRules(schemas, rules)
+		if err != nil {
+			t.Fatalf("algres compile: %v\n%s", err, prog.src)
+		}
+		adb := algres.NewDB()
+		for i := 0; i < 3; i++ {
+			adb.Set(fmt.Sprintf("r%d", i), algres.NewRelation("a", "b"))
+		}
+		for _, f := range facts {
+			rel, _ := adb.Get(fmt.Sprintf("r%d", f[0]))
+			rel.InsertValues(value.Int(int64(f[1])), value.Int(int64(f[2])))
+		}
+		aOut, err := rp.EvalSemiNaive(adb, 0)
+		if err != nil {
+			t.Fatalf("algres run: %v\n%s", err, prog.src)
+		}
+
+		// 3. Flat Datalog baseline.
+		var dlRules []datalog.Rule
+		for _, ru := range rules {
+			dr := datalog.Rule{Head: datalog.Atom{
+				Pred: ru.Head.Pred,
+				Args: []datalog.Term{datalog.V(ru.Head.Args[0].Term.String()), datalog.V(ru.Head.Args[1].Term.String())},
+			}}
+			for _, l := range ru.Body {
+				dr.Body = append(dr.Body, datalog.Atom{
+					Pred: l.Pred,
+					Args: []datalog.Term{datalog.V(l.Args[0].Term.String()), datalog.V(l.Args[1].Term.String())},
+				})
+			}
+			dlRules = append(dlRules, dr)
+		}
+		dp, err := datalog.NewProgram(dlRules)
+		if err != nil {
+			t.Fatalf("datalog compile: %v\n%s", err, prog.src)
+		}
+		ddb := datalog.NewDB()
+		for _, f := range facts {
+			ddb.Add(fmt.Sprintf("r%d", f[0]), datalog.Tuple{fmt.Sprint(f[1]), fmt.Sprint(f[2])})
+		}
+		dOut := dp.EvalSemiNaive(ddb)
+
+		// Compare the IDB relations across all three.
+		for _, pred := range []string{"p0", "p1"} {
+			engSet := map[string]bool{}
+			for _, fact := range engOut.Facts(pred) {
+				a, _ := fact.Tuple.Get("a")
+				b, _ := fact.Tuple.Get("b")
+				engSet[a.String()+","+b.String()] = true
+			}
+			aRel, _ := aOut.Get(pred)
+			aSet := map[string]bool{}
+			if aRel != nil {
+				for _, tup := range aRel.Tuples() {
+					a, _ := tup.Get("a")
+					b, _ := tup.Get("b")
+					aSet[a.String()+","+b.String()] = true
+				}
+			}
+			dSet := map[string]bool{}
+			for _, tup := range dOut.Tuples(pred) {
+				dSet[tup[0]+","+tup[1]] = true
+			}
+			if len(engSet) != len(aSet) || len(engSet) != len(dSet) {
+				t.Fatalf("size mismatch on %s: engine=%d algres=%d datalog=%d\nprogram:\n%s",
+					pred, len(engSet), len(aSet), len(dSet), prog.src)
+			}
+			for k := range engSet {
+				if !aSet[k] || !dSet[k] {
+					t.Fatalf("tuple %s of %s missing in a baseline\nprogram:\n%s", k, pred, prog.src)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

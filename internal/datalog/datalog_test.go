@@ -1,0 +1,214 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tcRules() []Rule {
+	return []Rule{
+		{Head: Atom{Pred: "tc", Args: []Term{V("X"), V("Y")}},
+			Body: []Atom{{Pred: "edge", Args: []Term{V("X"), V("Y")}}}},
+		{Head: Atom{Pred: "tc", Args: []Term{V("X"), V("Z")}},
+			Body: []Atom{
+				{Pred: "tc", Args: []Term{V("X"), V("Y")}},
+				{Pred: "edge", Args: []Term{V("Y"), V("Z")}},
+			}},
+	}
+}
+
+func chain(n int) *DB {
+	db := NewDB()
+	for i := 0; i < n; i++ {
+		db.Add("edge", Tuple{fmt.Sprint(i), fmt.Sprint(i + 1)})
+	}
+	return db
+}
+
+func TestTransitiveClosureNaive(t *testing.T) {
+	p, err := NewProgram(tcRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.EvalNaive(chain(4))
+	if out.Size("tc") != 10 {
+		t.Fatalf("tc = %d, want 10", out.Size("tc"))
+	}
+	if !out.Has("tc", Tuple{"0", "4"}) {
+		t.Fatal("0->4 missing")
+	}
+}
+
+func TestSemiNaiveAgreesWithNaive(t *testing.T) {
+	p, err := NewProgram(tcRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint8) bool {
+		n := int(seed%16) + 2
+		a := p.EvalNaive(chain(n))
+		b := p.EvalSemiNaive(chain(n))
+		if a.Size("tc") != b.Size("tc") {
+			return false
+		}
+		for _, tup := range a.Tuples("tc") {
+			if !b.Has("tc", tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	rules := append(tcRules(),
+		Rule{Head: Atom{Pred: "unreach", Args: []Term{V("X"), V("Y")}},
+			Body: []Atom{
+				{Pred: "node", Args: []Term{V("X")}},
+				{Pred: "node", Args: []Term{V("Y")}},
+				{Pred: "tc", Negated: true, Args: []Term{V("X"), V("Y")}},
+			}},
+	)
+	p, err := NewProgram(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chain(2) // 0->1->2
+	for i := 0; i <= 2; i++ {
+		db.Add("node", Tuple{fmt.Sprint(i)})
+	}
+	out := p.EvalSemiNaive(db)
+	// 9 pairs − 3 reachable = 6 unreachable.
+	if out.Size("unreach") != 6 {
+		t.Fatalf("unreach = %d", out.Size("unreach"))
+	}
+}
+
+func TestUnstratifiedRejected(t *testing.T) {
+	rules := []Rule{
+		{Head: Atom{Pred: "p", Args: []Term{V("X")}},
+			Body: []Atom{
+				{Pred: "q", Args: []Term{V("X")}},
+				{Pred: "p", Negated: true, Args: []Term{V("X")}},
+			}},
+	}
+	if _, err := NewProgram(rules); err == nil || !strings.Contains(err.Error(), "stratified") {
+		t.Fatalf("negative cycle accepted: %v", err)
+	}
+}
+
+func TestUnsafeRulesRejected(t *testing.T) {
+	bad := []Rule{
+		{Head: Atom{Pred: "p", Args: []Term{V("X")}}, Body: []Atom{{Pred: "q", Args: []Term{V("Y")}}}},
+	}
+	if _, err := NewProgram(bad); err == nil {
+		t.Fatal("unsafe head accepted")
+	}
+	bad2 := []Rule{
+		{Head: Atom{Pred: "p", Args: []Term{V("X")}},
+			Body: []Atom{
+				{Pred: "q", Args: []Term{V("X")}},
+				{Pred: "r", Negated: true, Args: []Term{V("Z")}},
+			}},
+	}
+	if _, err := NewProgram(bad2); err == nil {
+		t.Fatal("unsafe negation accepted")
+	}
+	bad3 := []Rule{
+		{Head: Atom{Pred: "p", Negated: true, Args: []Term{V("X")}},
+			Body: []Atom{{Pred: "q", Args: []Term{V("X")}}}},
+	}
+	if _, err := NewProgram(bad3); err == nil {
+		t.Fatal("negated head accepted")
+	}
+}
+
+func TestConstantsAndRepeatedVars(t *testing.T) {
+	rules := []Rule{
+		{Head: Atom{Pred: "loop", Args: []Term{V("X")}},
+			Body: []Atom{{Pred: "edge", Args: []Term{V("X"), V("X")}}}},
+		{Head: Atom{Pred: "fromzero", Args: []Term{V("Y")}},
+			Body: []Atom{{Pred: "edge", Args: []Term{C("0"), V("Y")}}}},
+	}
+	p, err := NewProgram(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	db.Add("edge", Tuple{"0", "1"})
+	db.Add("edge", Tuple{"2", "2"})
+	out := p.EvalNaive(db)
+	if out.Size("loop") != 1 || !out.Has("loop", Tuple{"2"}) {
+		t.Fatal("repeated var match wrong")
+	}
+	if out.Size("fromzero") != 1 || !out.Has("fromzero", Tuple{"1"}) {
+		t.Fatal("constant match wrong")
+	}
+}
+
+func TestDBBasics(t *testing.T) {
+	db := NewDB()
+	if !db.Add("p", Tuple{"a"}) || db.Add("p", Tuple{"a"}) {
+		t.Fatal("Add dedup wrong")
+	}
+	cp := db.Clone()
+	cp.Add("p", Tuple{"b"})
+	if db.Size("p") != 1 || cp.Size("p") != 2 {
+		t.Fatal("clone shares storage")
+	}
+	if got := db.Tuples("p"); len(got) != 1 || got[0][0] != "a" {
+		t.Fatalf("tuples = %v", got)
+	}
+}
+
+func TestAtomRuleString(t *testing.T) {
+	r := tcRules()[1]
+	s := r.String()
+	if !strings.Contains(s, "tc(X,Z) <- tc(X,Y), edge(Y,Z)") {
+		t.Fatalf("rule string = %q", s)
+	}
+	na := Atom{Pred: "p", Negated: true, Args: []Term{C("a")}}
+	if na.String() != "not p(a)" {
+		t.Fatalf("atom string = %q", na.String())
+	}
+}
+
+func TestSameGeneration(t *testing.T) {
+	// Nonlinear recursion: sg(X,Y) <- sg(X1,Y1) with parents.
+	rules := []Rule{
+		{Head: Atom{Pred: "sg", Args: []Term{V("X"), V("X")}},
+			Body: []Atom{{Pred: "person", Args: []Term{V("X")}}}},
+		{Head: Atom{Pred: "sg", Args: []Term{V("X"), V("Y")}},
+			Body: []Atom{
+				{Pred: "par", Args: []Term{V("X"), V("XP")}},
+				{Pred: "sg", Args: []Term{V("XP"), V("YP")}},
+				{Pred: "par", Args: []Term{V("Y"), V("YP")}},
+			}},
+	}
+	p, err := NewProgram(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	// Balanced binary tree of depth 2: root r; children a,b; grandchildren.
+	db.Add("par", Tuple{"a", "r"})
+	db.Add("par", Tuple{"b", "r"})
+	db.Add("par", Tuple{"aa", "a"})
+	db.Add("par", Tuple{"ab", "a"})
+	db.Add("par", Tuple{"ba", "b"})
+	for _, n := range []string{"r", "a", "b", "aa", "ab", "ba"} {
+		db.Add("person", Tuple{n})
+	}
+	out := p.EvalSemiNaive(db)
+	if !out.Has("sg", Tuple{"a", "b"}) || !out.Has("sg", Tuple{"aa", "ba"}) {
+		t.Fatalf("sg missing pairs: %v", out.Tuples("sg"))
+	}
+	if out.Has("sg", Tuple{"a", "aa"}) {
+		t.Fatal("cross-generation pair derived")
+	}
+}

@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"logres/internal/parser"
+	"logres/internal/value"
+)
+
+// Targeted tests for evaluation corners: arithmetic on mixed types,
+// builtin modes (negated, multiset/sequence variants), active-domain
+// walks over constructed values, object binding upgrades, and error
+// paths.
+
+func TestEvalArithVariants(t *testing.T) {
+	cases := []struct {
+		op   string
+		l, r value.Value
+		want value.Value
+	}{
+		{"+", value.Str("a"), value.Str("b"), value.Str("ab")},
+		{"+", value.NewSet(value.Int(1)), value.NewSet(value.Int(2)), value.NewSet(value.Int(1), value.Int(2))},
+		{"+", value.NewSequence(value.Int(1)), value.NewSequence(value.Int(2)), value.NewSequence(value.Int(1), value.Int(2))},
+		{"+", value.Int(2), value.Real(0.5), value.Real(2.5)},
+		{"-", value.Real(2.5), value.Int(1), value.Real(1.5)},
+		{"*", value.Real(2), value.Real(3), value.Real(6)},
+		{"/", value.Real(5), value.Real(2), value.Real(2.5)},
+		{"+", value.Int(2), value.Int(3), value.Int(5)},
+		{"-", value.Int(2), value.Int(3), value.Int(-1)},
+		{"*", value.Int(2), value.Int(3), value.Int(6)},
+		{"/", value.Int(7), value.Int(2), value.Int(3)},
+		{"mod", value.Int(7), value.Int(2), value.Int(1)},
+	}
+	for _, c := range cases {
+		got, err := evalArith(c.op, c.l, c.r)
+		if err != nil {
+			t.Errorf("%v %s %v: %v", c.l, c.op, c.r, err)
+			continue
+		}
+		if !value.Equal(got, c.want) {
+			t.Errorf("%v %s %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+	// Error paths.
+	for _, bad := range []struct {
+		op   string
+		l, r value.Value
+	}{
+		{"/", value.Int(1), value.Int(0)},
+		{"mod", value.Int(1), value.Int(0)},
+		{"/", value.Real(1), value.Real(0)},
+		{"+", value.Bool(true), value.Int(1)},
+		{"mod", value.Real(1), value.Real(2)},
+	} {
+		if _, err := evalArith(bad.op, bad.l, bad.r); err == nil {
+			t.Errorf("%v %s %v accepted", bad.l, bad.op, bad.r)
+		}
+	}
+}
+
+func TestBindObjectUpgrade(t *testing.T) {
+	e := newEnv()
+	// Plain oid binding first, object binding second: upgrade.
+	if !e.bindValue("X", value.Ref(7)) {
+		t.Fatal("bindValue failed")
+	}
+	ob := objBinding{class: "c", oid: 7, tuple: value.NewTuple()}
+	if !e.bindObject("X", ob) {
+		t.Fatal("upgrade rejected")
+	}
+	b, _ := e.lookup("X")
+	if b.obj == nil {
+		t.Fatal("binding not upgraded to object")
+	}
+	// Mismatched oid fails.
+	if e.bindObject("X", objBinding{oid: 8}) {
+		t.Fatal("oid mismatch accepted")
+	}
+	// Non-oid value conflicts with an object binding.
+	e2 := newEnv()
+	e2.bindValue("Y", value.Int(3))
+	if e2.bindObject("Y", ob) {
+		t.Fatal("int vs object accepted")
+	}
+	// Two object bindings: same oid ok, different oid rejected.
+	e3 := newEnv()
+	e3.bindObject("Z", ob)
+	if !e3.bindObject("Z", objBinding{oid: 7}) {
+		t.Fatal("same-oid rebind rejected")
+	}
+	if e3.bindObject("Z", objBinding{oid: 9}) {
+		t.Fatal("different-oid rebind accepted")
+	}
+}
+
+func TestBuiltinMultisetSequenceVariants(t *testing.T) {
+	p := build(t, `
+domains D = integer;
+associations
+  MSIN = (m: [D]);
+  SQIN = (q: <D>);
+  OUT = (tag: string, m: [D]);
+  SOUT = (tag: string, q: <D>);
+  CNT = (tag: string, n: integer);
+  AVGOUT = (v: real);
+`, `
+msin(m: [1, 1, 2]).
+sqin(q: <3, 4>).
+out(tag: "union", m: Z) <- msin(m: X), union(X, X, Z).
+out(tag: "append", m: Z) <- msin(m: X), append(X, 9, Z).
+sout(tag: "union", q: Z) <- sqin(q: X), union(X, X, Z).
+sout(tag: "append", q: Z) <- sqin(q: X), append(X, 9, Z).
+cnt(tag: "ms", n: N) <- msin(m: X), count(X, N).
+avgout(v: V) <- sqin(q: X), avg(X, V).
+`)
+	f := run(t, p)
+	got := strings.Join(tuples(f, "out"), " | ")
+	if !strings.Contains(got, "m=[1, 1, 1, 1, 2, 2]") {
+		t.Errorf("multiset union: %s", got)
+	}
+	if !strings.Contains(got, "m=[1, 1, 2, 9]") {
+		t.Errorf("multiset append: %s", got)
+	}
+	sq := strings.Join(tuples(f, "sout"), " | ")
+	if !strings.Contains(sq, "q=<3, 4, 3, 4>") {
+		t.Errorf("sequence union (concat): %s", sq)
+	}
+	if !strings.Contains(sq, "q=<3, 4, 9>") {
+		t.Errorf("sequence append: %s", sq)
+	}
+	if c := strings.Join(tuples(f, "cnt"), " "); !strings.Contains(c, "n=3") {
+		t.Errorf("multiset count: %s", c)
+	}
+	if a := strings.Join(tuples(f, "avgout"), " "); !strings.Contains(a, "v=3.5") {
+		t.Errorf("avg: %s", a)
+	}
+}
+
+func TestBuiltinNegatedModes(t *testing.T) {
+	p := build(t, `
+domains D = integer;
+associations
+  IN = (s: {D});
+  OUT = (tag: string);
+`, `
+in(s: {1, 2}).
+out(tag: "notmember") <- in(s: S), not member(9, S).
+out(tag: "notcount") <- in(s: S), not count(S, 5).
+out(tag: "notunion") <- in(s: S), not union(S, S, {1}).
+`)
+	f := run(t, p)
+	got := strings.Join(tuples(f, "out"), " ")
+	for _, want := range []string{"notmember", "notcount", "notunion"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("out missing %q: %s", want, got)
+		}
+	}
+}
+
+func TestBuiltinErrorPaths(t *testing.T) {
+	// Union of incompatible collections is a runtime error.
+	p := build(t, `
+domains D = integer;
+associations
+  A = (s: {D});
+  B = (m: [D]);
+  OUT = (tag: string);
+`, `
+a(s: {1}).
+b(m: [1]).
+out(tag: "x") <- a(s: S), b(m: M), union(S, M, Z).
+`)
+	counter := int64(0)
+	if _, err := p.Run(NewFactSet(), &counter); err == nil || !strings.Contains(err.Error(), "union") {
+		t.Fatalf("incompatible union accepted: %v", err)
+	}
+	// min over an empty collection yields no valuation (not an error).
+	p2 := build(t, `
+domains D = integer;
+associations
+  A = (s: {D});
+  OUT = (v: integer);
+`, `
+a(s: {}).
+out(v: V) <- a(s: S), min(S, V).
+`)
+	f := run(t, p2)
+	if f.Size("out") != 0 {
+		t.Fatal("min over empty set produced a valuation")
+	}
+	// sum over non-numeric elements errors.
+	p3 := build(t, `
+associations
+  A = (s: {string});
+  OUT = (v: integer);
+`, `
+a(s: {"x"}).
+out(v: V) <- a(s: S), sum(S, V).
+`)
+	if _, err := p3.Run(NewFactSet(), &counter); err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Fatalf("sum over strings accepted: %v", err)
+	}
+}
+
+func TestNthOutOfRange(t *testing.T) {
+	p := build(t, `
+domains D = integer;
+associations
+  Q = (q: <D>);
+  OUT = (v: integer);
+`, `
+q(q: <1, 2>).
+out(v: V) <- q(q: S), nth(S, 5, V).
+out(v: V) <- q(q: S), nth(S, 0, V).
+`)
+	f := run(t, p)
+	if f.Size("out") != 0 {
+		t.Fatalf("out-of-range nth produced %v", tuples(f, "out"))
+	}
+}
+
+func TestActiveDomainOverConstructedValues(t *testing.T) {
+	// Values inside sets and nested tuples feed the active domain of
+	// their declared types.
+	p := build(t, `
+domains
+  NAME = string;
+  INFO = (tag: NAME);
+associations
+  BAG = (names: {NAME}, info: INFO);
+  SEEN = (n: NAME);
+  MISSING = (n: NAME);
+`, `
+bag(names: {"a", "b"}, info: (tag: "c")).
+seen(n: "a").
+missing(n: X) <- not seen(n: X).
+`)
+	f := run(t, p)
+	got := strings.Join(tuples(f, "missing"), " ")
+	// Active domain of NAME includes b (set element) and c (nested tuple).
+	if !strings.Contains(got, `n="b"`) || !strings.Contains(got, `n="c"`) {
+		t.Fatalf("active domain incomplete: %s", got)
+	}
+	if strings.Contains(got, `n="a"`) {
+		t.Fatalf("negation wrong: %s", got)
+	}
+}
+
+func TestFactStringAndFunctionStore(t *testing.T) {
+	cf := Fact{Pred: "c", IsClass: true, OID: 3, Tuple: value.NewTuple(
+		value.Field{Label: "v", Value: value.Int(1)})}
+	if got := cf.String(); !strings.Contains(got, "&3") {
+		t.Fatalf("class fact string = %q", got)
+	}
+	af := Fact{Pred: "a", Tuple: value.NewTuple()}
+	if got := af.String(); got != "a()" {
+		t.Fatalf("assoc fact string = %q", got)
+	}
+	if functionStore("f") == "f" {
+		t.Fatal("function store name must not collide with the function")
+	}
+}
+
+func TestAssocHeadTupleVarWithOverride(t *testing.T) {
+	// A head association built from a tuple variable with one component
+	// overridden.
+	p := build(t, `
+associations
+  SRC = (a: integer, b: integer);
+  DST = (a: integer, b: integer);
+`, `
+src(a: 1, b: 2).
+dst(b: 9, a: A) <- src(T), T = (a: A, b: B).
+`)
+	f := run(t, p)
+	got := tuples(f, "dst")
+	if len(got) != 1 || got[0] != "a=1,b=9" {
+		t.Fatalf("dst = %v", got)
+	}
+}
+
+func TestQueryWithBuiltinsAndNegation(t *testing.T) {
+	p := build(t, `
+domains D = integer;
+associations
+  S = (set: {D});
+  T = (v: integer);
+`, `
+s(set: {1, 2, 3}).
+t(v: 2).
+`)
+	f := run(t, p)
+	goal, err := parser.ParseGoal(`?- s(set: S), member(X, S), not t(v: X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.Query(f, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 {
+		t.Fatalf("rows = %v", ans.Rows)
+	}
+}
+
+func TestCandidateFactsSelfLookup(t *testing.T) {
+	// Joining through a bound self variable goes through the oid map.
+	p2 := build(t, `
+classes C = (v: integer);
+associations
+  SEED = (k: integer);
+  L = (ref: C);
+  OUT = (v: integer);
+`, `
+seed(k: 1).
+c(self: X, v: K) <- seed(k: K).
+l(ref: X) <- c(self: X).
+out(v: V) <- l(ref: R), c(self: R, v: V).
+`)
+	f := run(t, p2)
+	if got := tuples(f, "out"); len(got) != 1 || got[0] != "v=1" {
+		t.Fatalf("out = %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"logres/internal/ast"
+	"logres/internal/parser"
+)
+
+// Compile-time rejection tests: each program violates one rule of the
+// analysis and must be refused with a pointed message.
+
+func expectCompileError(t *testing.T, schemaSrc, rulesSrc, wantSubstr string) {
+	t.Helper()
+	_, err := tryBuild(schemaSrc, rulesSrc, DefaultOptions())
+	if err == nil {
+		t.Fatalf("accepted: %s", rulesSrc)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q lacks %q", err, wantSubstr)
+	}
+}
+
+const errSchema = `
+domains NAME = string;
+classes
+  A = (v: NAME);
+  B = (u: NAME);
+associations
+  P = (x: NAME);
+  Q = (x: NAME, y: integer);
+functions
+  F: NAME -> {NAME};
+`
+
+func TestCompileRejections(t *testing.T) {
+	cases := []struct{ rules, want string }{
+		{`p(x: X) <- f(X).`, "used as a predicate"},
+		{`p(x: X) <- name(X).`, "used as a predicate"},
+		{`name(X) <- p(x: X).`, "cannot be a rule head"},
+		{`member(X, g(Y)) <- p(x: X), p(x: Y).`, "not a declared function"},
+		{`member(X, f(Y, Z)) <- p(x: X), p(x: Y), p(x: Z).`, "arity mismatch"},
+		{`count(S, N) <- p(x: S), p(x: N).`, "cannot be a rule head"},
+		{`p(x: X) <- q(x: X), member(X).`, "expects 2 arguments"},
+		{`p(x: X) <- q(x: X, z: 1).`, `no component "z"`},
+		{`p(x: X) <- q(x: X, x: X).`, "duplicate component"},
+		{`p(self: X) <- q(x: X).`, "self argument on non-class"},
+		{`a(self: X, self: Y) <- a(v: V), p(x: V).`, "duplicate self"},
+		{`q(x: X, y: Y) <- p(x: X).`, "does not occur in the body"},
+		{`p(x: X) <- X = Y.`, "unsafe rule"},
+		{`p(x: X) <- q(1, 2, 3).`, "cannot map"},
+		{`not a(self: X) <- p(x: N).`, "unbound self"},
+		{`b(X) <- a(X).`, "hierarch"},
+		{`p(x: X) <- q(x: X), X < Y, q(x: Y).`, ""}, // ordering saves this one: no error
+	}
+	for _, c := range cases {
+		if c.want == "" {
+			if _, err := tryBuild(errSchema, c.rules, DefaultOptions()); err != nil {
+				t.Errorf("rejected valid rule %q: %v", c.rules, err)
+			}
+			continue
+		}
+		expectCompileError(t, errSchema, c.rules, c.want)
+	}
+}
+
+func TestHeadComparisonRejected(t *testing.T) {
+	// Comparisons cannot be heads; the parser cannot even produce one, so
+	// drive resolveHead directly through a goal-less check: "=" as head
+	// pred arrives via hand-built AST in practice — covered by the parse
+	// layer, so here we assert the engine's own guard on builtins.
+	expectCompileError(t, errSchema, `union(X, Y, Z) <- p(x: X), p(x: Y), p(x: Z).`, "cannot be a rule head")
+}
+
+func TestClassPositionalOverflowRejected(t *testing.T) {
+	expectCompileError(t, errSchema, `a(self: S, "x", "y") <- p(x: X).`, "positional arguments")
+}
+
+func TestGoalErrors(t *testing.T) {
+	p := build(t, errSchema, `p(x: "v").`)
+	f := run(t, p)
+	for _, bad := range []string{
+		`?- nosuch(x: X).`,
+		`?- p(z: X).`,
+		`?- X = Y.`,
+	} {
+		goal, err := parseGoal(bad)
+		if err != nil {
+			t.Fatalf("parse %q: %v", bad, err)
+		}
+		if _, err := p.Query(f, goal); err == nil {
+			t.Errorf("goal accepted: %s", bad)
+		}
+	}
+}
+
+func TestRuntimeComparisonKindError(t *testing.T) {
+	p := build(t, `
+associations
+  M = (a: integer, b: string);
+  OUT = (a: integer);
+`, `
+m(a: 1, b: "x").
+out(a: A) <- m(a: A, b: B), A < B.
+`)
+	counter := int64(0)
+	if _, err := p.Run(NewFactSet(), &counter); err == nil || !strings.Contains(err.Error(), "cannot compare") {
+		t.Fatalf("cross-kind comparison accepted: %v", err)
+	}
+}
+
+func TestMemberOverNonCollection(t *testing.T) {
+	p := build(t, `
+associations
+  M = (a: integer);
+  OUT = (a: integer);
+`, `
+m(a: 1).
+out(a: X) <- m(a: A), member(X, A).
+`)
+	counter := int64(0)
+	if _, err := p.Run(NewFactSet(), &counter); err == nil || !strings.Contains(err.Error(), "collection") {
+		t.Fatalf("member over scalar accepted: %v", err)
+	}
+}
+
+// parseGoal is a tiny local helper aliasing the parser.
+func parseGoal(src string) ([]ast.Literal, error) { return parser.ParseGoal(src) }

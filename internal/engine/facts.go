@@ -1,0 +1,393 @@
+// Package engine implements the LOGRES rule engine: compile-time analysis
+// (typing, safety, oid-unification legality, stratification), the
+// inflationary deterministic semantics of Appendix B (valuation domains,
+// invented oids, Δ+/Δ−, the non-commutative composition ⊕ and the one-step
+// inflationary operator), a semi-naive optimization for positive strata,
+// the built-in predicates of §3.1, and the integrity constraints generated
+// from type equations.
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"logres/internal/instance"
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+// Fact is one ground fact. Class facts carry the object's oid and the
+// projection of its o-value; association and data-function facts carry a
+// tuple. Data-function facts for F : T → {T'} are stored under the function
+// name with tuple (arg: a, member: m); nullary functions omit arg.
+type Fact struct {
+	Pred    string
+	IsClass bool
+	OID     value.OID // class facts only
+	Tuple   value.Tuple
+}
+
+// FuncArgLabel and FuncMemberLabel are the component labels of data-
+// function facts.
+const (
+	FuncArgLabel    = "arg"
+	FuncMemberLabel = "member"
+)
+
+// Key returns the identity of the fact (pred + oid + tuple).
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.WriteString(f.Pred)
+	b.WriteByte('/')
+	if f.IsClass {
+		b.WriteString(f.OID.String())
+		b.WriteByte('/')
+	}
+	b.WriteString(f.Tuple.Key())
+	return b.String()
+}
+
+func (f Fact) String() string {
+	if f.IsClass {
+		return f.Pred + "(" + f.OID.String() + ", " + f.Tuple.String() + ")"
+	}
+	return f.Pred + f.Tuple.String()
+}
+
+// FactSet is a set of ground facts indexed by predicate. Class predicates
+// additionally index facts by oid so that the right-biased composition ⊕
+// can resolve o-value conflicts.
+type FactSet struct {
+	byPred map[string]map[string]Fact    // pred → fact key → fact
+	byOID  map[string]map[value.OID]Fact // class pred → oid → fact
+
+	// caches, invalidated per predicate on mutation
+	sorted map[string][]Fact                       // pred → facts in key order
+	index  map[string]map[string]map[string][]Fact // pred → label → value key → facts
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{
+		byPred: map[string]map[string]Fact{},
+		byOID:  map[string]map[value.OID]Fact{},
+	}
+}
+
+func (s *FactSet) invalidate(pred string) {
+	if s.sorted != nil {
+		delete(s.sorted, pred)
+	}
+	if s.index != nil {
+		delete(s.index, pred)
+	}
+}
+
+// FactsByComponent returns the facts of pred whose labelled component
+// equals v, using (and lazily building) a hash index. The returned slice
+// must not be mutated; ordering within a bucket follows fact key order.
+func (s *FactSet) FactsByComponent(pred, label string, v value.Value) []Fact {
+	if s.index == nil {
+		s.index = map[string]map[string]map[string][]Fact{}
+	}
+	byLabel := s.index[pred]
+	if byLabel == nil {
+		byLabel = map[string]map[string][]Fact{}
+		s.index[pred] = byLabel
+	}
+	idx, ok := byLabel[label]
+	if !ok {
+		idx = map[string][]Fact{}
+		for _, f := range s.Facts(pred) {
+			cv, found := f.Tuple.Get(label)
+			if !found {
+				cv = value.Null{}
+			}
+			k := cv.Key()
+			idx[k] = append(idx[k], f)
+		}
+		byLabel[label] = idx
+	}
+	return idx[v.Key()]
+}
+
+// Add inserts a fact. For class facts an existing fact with the same oid is
+// replaced (the newer o-value wins — the ⊕ bias); the method reports
+// whether the set changed.
+func (s *FactSet) Add(f Fact) bool {
+	m := s.byPred[f.Pred]
+	if m == nil {
+		m = map[string]Fact{}
+		s.byPred[f.Pred] = m
+	}
+	s.invalidate(f.Pred)
+	if f.IsClass {
+		om := s.byOID[f.Pred]
+		if om == nil {
+			om = map[value.OID]Fact{}
+			s.byOID[f.Pred] = om
+		}
+		if prev, ok := om[f.OID]; ok {
+			if prev.Key() == f.Key() {
+				return false
+			}
+			delete(m, prev.Key())
+		}
+		om[f.OID] = f
+		m[f.Key()] = f
+		return true
+	}
+	k := f.Key()
+	if _, ok := m[k]; ok {
+		return false
+	}
+	m[k] = f
+	return true
+}
+
+// Remove deletes a fact by exact identity; it reports whether it was
+// present.
+func (s *FactSet) Remove(f Fact) bool {
+	m := s.byPred[f.Pred]
+	if m == nil {
+		return false
+	}
+	k := f.Key()
+	if _, ok := m[k]; !ok {
+		return false
+	}
+	s.invalidate(f.Pred)
+	delete(m, k)
+	if f.IsClass {
+		if om := s.byOID[f.Pred]; om != nil {
+			if cur, ok := om[f.OID]; ok && cur.Key() == k {
+				delete(om, f.OID)
+			}
+		}
+	}
+	return true
+}
+
+// Has reports exact membership.
+func (s *FactSet) Has(f Fact) bool {
+	m := s.byPred[f.Pred]
+	if m == nil {
+		return false
+	}
+	_, ok := m[f.Key()]
+	return ok
+}
+
+// HasOID reports whether the class predicate contains the oid, and returns
+// its current o-value projection.
+func (s *FactSet) HasOID(pred string, oid value.OID) (Fact, bool) {
+	om := s.byOID[pred]
+	if om == nil {
+		return Fact{}, false
+	}
+	f, ok := om[oid]
+	return f, ok
+}
+
+// Facts returns the facts of a predicate in deterministic (key) order.
+// The returned slice is cached and must not be mutated.
+func (s *FactSet) Facts(pred string) []Fact {
+	if cached, ok := s.sorted[pred]; ok {
+		return cached
+	}
+	m := s.byPred[pred]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Fact, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	if s.sorted == nil {
+		s.sorted = map[string][]Fact{}
+	}
+	s.sorted[pred] = out
+	return out
+}
+
+// Size reports the number of facts for a predicate.
+func (s *FactSet) Size(pred string) int { return len(s.byPred[pred]) }
+
+// TotalSize reports the total number of facts.
+func (s *FactSet) TotalSize() int {
+	n := 0
+	for _, m := range s.byPred {
+		n += len(m)
+	}
+	return n
+}
+
+// Preds returns the predicates with at least one fact, sorted.
+func (s *FactSet) Preds() []string {
+	var out []string
+	for p, m := range s.byPred {
+		if len(m) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *FactSet) Clone() *FactSet {
+	n := NewFactSet()
+	for p, m := range s.byPred {
+		cp := make(map[string]Fact, len(m))
+		for k, f := range m {
+			cp[k] = f
+		}
+		n.byPred[p] = cp
+	}
+	for p, om := range s.byOID {
+		cp := make(map[value.OID]Fact, len(om))
+		for o, f := range om {
+			cp[o] = f
+		}
+		n.byOID[p] = cp
+	}
+	return n
+}
+
+// Equal reports whether two sets contain exactly the same facts.
+func (s *FactSet) Equal(o *FactSet) bool {
+	if s.TotalSize() != o.TotalSize() {
+		return false
+	}
+	for p, m := range s.byPred {
+		om := o.byPred[p]
+		for k := range m {
+			if _, ok := om[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Compose computes s ⊕ d (Appendix B): the union of the two sets, except
+// that class facts of s whose oid also appears in d with a different
+// o-value are replaced by d's fact. ⊕ is non-commutative; the receiver is
+// the left operand. A fresh set is returned.
+func (s *FactSet) Compose(d *FactSet) *FactSet {
+	out := s.Clone()
+	out.Merge(d)
+	return out
+}
+
+// Merge is the in-place ⊕: it adds every fact of d into s (right bias for
+// class facts) and reports whether s changed.
+func (s *FactSet) Merge(d *FactSet) bool {
+	changed := false
+	for _, p := range d.Preds() {
+		for _, f := range d.Facts(p) {
+			if s.Add(f) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Minus returns s − d (exact-identity removal).
+func (s *FactSet) Minus(d *FactSet) *FactSet {
+	out := s.Clone()
+	for _, p := range d.Preds() {
+		for _, f := range d.Facts(p) {
+			out.Remove(f)
+		}
+	}
+	return out
+}
+
+// Intersect returns s ∩ d (exact identity).
+func (s *FactSet) Intersect(d *FactSet) *FactSet {
+	out := NewFactSet()
+	for _, p := range s.Preds() {
+		for _, f := range s.Facts(p) {
+			if d.Has(f) {
+				out.Add(f)
+			}
+		}
+	}
+	return out
+}
+
+// FromInstance converts an instance into a fact set: one class fact per
+// class membership (o-value projected on the class's effective type) and
+// one fact per association tuple.
+func FromInstance(in *instance.Instance) (*FactSet, error) {
+	s := in.Schema()
+	fs := NewFactSet()
+	for _, c := range s.NamesOf(types.DeclClass) {
+		eff, err := s.EffectiveTuple(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, oid := range in.Objects(c) {
+			v, _ := in.OValue(oid)
+			fs.Add(Fact{Pred: c, IsClass: true, OID: oid, Tuple: instance.Project(v, eff)})
+		}
+	}
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		for _, t := range in.Tuples(a) {
+			fs.Add(Fact{Pred: a, Tuple: t})
+		}
+	}
+	for _, fn := range s.NamesOf(types.DeclFunction) {
+		for _, t := range in.Tuples(functionStore(fn)) {
+			fs.Add(Fact{Pred: fn, Tuple: t})
+		}
+	}
+	return fs, nil
+}
+
+// functionStore names the hidden association backing a data function.
+func functionStore(fn string) string { return "$fn$" + fn }
+
+// ToInstance converts a fact set into an instance over the schema,
+// reconciling class facts across a generalization hierarchy (an oid's
+// o-value is the ⊕ of its projections; later components win, but since all
+// class facts of one oid stem from one o-value they agree).
+func ToInstance(fs *FactSet, schema *types.Schema, oidCounter int64) *instance.Instance {
+	in := instance.New(schema)
+	in.SetOIDCounter(oidCounter)
+	for _, p := range fs.Preds() {
+		if schema.IsClass(p) {
+			for _, f := range fs.Facts(p) {
+				in.AddToClass(p, f.OID, f.Tuple)
+			}
+			continue
+		}
+		if schema.IsFunction(p) {
+			for _, f := range fs.Facts(p) {
+				in.InsertTuple(functionStore(p), f.Tuple)
+			}
+			continue
+		}
+		for _, f := range fs.Facts(p) {
+			in.InsertTuple(p, f.Tuple)
+		}
+	}
+	return in
+}
+
+// MaxOID returns the largest oid mentioned by any class fact.
+func (s *FactSet) MaxOID() value.OID {
+	var max value.OID
+	for _, om := range s.byOID {
+		for o := range om {
+			if o > max {
+				max = o
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,84 @@
+package engine
+
+import "fmt"
+
+// Non-inflationary semantics. The paper's introduction makes modules and
+// databases "parametric with respect to the semantics of the rules they
+// support (e.g. inflationary vs non-inflationary)" and describes only the
+// inflationary variant in detail; the non-inflationary counterpart (the
+// DL-style semantics of [Abit88a] the paper cites) is implemented here:
+//
+//	F0 = E
+//	F_{i+1} = (E ⊕ Δ+(R, F_i)) − Δ−(R, F_i)
+//
+// Derived facts persist only while re-derivable from the current state;
+// the extensional base E always persists. The semantics is *partial*: if
+// the sequence never stabilizes the result is undefined (an error). Under
+// this operator the head-satisfiability suppression of Definition 7 must
+// not drop facts — a satisfied head re-emits the satisfying facts so they
+// survive the step — while oid invention keeps its dedup discipline (an
+// object is re-emitted, not re-invented).
+
+// oneStepNoninf applies the non-inflationary operator once.
+func (p *Program) oneStepNoninf(rules []*crule, e, f *FactSet, counter *int64) (*FactSet, bool, error) {
+	c := &evalCtx{p: p, f: f, counter: counter, deltaIdx: -1, reemit: true, stats: p.stats}
+	dplus, dminus := NewFactSet(), NewFactSet()
+	for _, r := range rules {
+		yield := func(env2 *env) error {
+			return c.instantiateHead(r, env2, dplus, dminus)
+		}
+		if r.inventive {
+			seen := map[string]bool{}
+			inner := yield
+			yield = func(env2 *env) error {
+				k := env2.key(r.vars)
+				if seen[k] {
+					return nil
+				}
+				seen[k] = true
+				return inner(env2)
+			}
+		}
+		if err := c.matchBody(r.body, 0, newEnv(), yield); err != nil {
+			return nil, false, fmt.Errorf("%v (in rule %s)", err, r)
+		}
+	}
+	next := e.Clone()
+	next.Merge(dplus)
+	for _, pr := range dminus.Preds() {
+		for _, fact := range dminus.Facts(pr) {
+			next.Remove(fact)
+		}
+	}
+	return next, !next.Equal(f), nil
+}
+
+// runNoninflationary iterates the non-inflationary operator to a fixpoint
+// over the whole program (stratification does not apply: the operator is
+// non-monotone by construction).
+func (p *Program) runNoninflationary(e *FactSet, counter *int64) (*FactSet, error) {
+	if m := int64(e.MaxOID()); m > *counter {
+		*counter = m
+	}
+	f := e.Clone()
+	var rules []*crule
+	for _, stratum := range p.strata {
+		rules = append(rules, stratum...)
+	}
+	for step := 0; ; step++ {
+		if step >= p.opts.MaxSteps {
+			return nil, fmt.Errorf("engine: non-inflationary semantics undefined: no fixpoint within %d steps", p.opts.MaxSteps)
+		}
+		next, changed, err := p.oneStepNoninf(rules, e, f, counter)
+		if err != nil {
+			return nil, err
+		}
+		if p.stats != nil {
+			p.stats.Steps++
+		}
+		if !changed {
+			return next, nil
+		}
+		f = next
+	}
+}

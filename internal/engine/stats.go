@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats records what an evaluation did — the paper's §5 asks for "tools
+// supporting the design, debugging, and monitoring of LOGRES databases
+// and programs"; this is the monitoring half. Collected on every Run.
+type Stats struct {
+	// Steps is the total number of one-step operator applications (or
+	// semi-naive rounds) across all strata.
+	Steps int
+	// Strata is the number of evaluation strata used.
+	Strata int
+	// SemiNaiveStrata counts strata that ran under delta iteration.
+	SemiNaiveStrata int
+	// Firings maps rule ids to the number of head instantiations
+	// (valuations that reached the head, including suppressed ones).
+	Firings map[int]int
+	// Invented is the number of oids invented.
+	Invented int
+}
+
+func newStats() *Stats { return &Stats{Firings: map[int]int{}} }
+
+// LastStats returns the statistics of the most recent Run (nil before any
+// run).
+func (p *Program) LastStats() *Stats { return p.stats }
+
+// Explain renders the compiled program structure and, when available, the
+// last run's statistics.
+func (p *Program) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d rules", len(p.rules))
+	if len(p.denials) > 0 {
+		fmt.Fprintf(&b, ", %d denials", len(p.denials))
+	}
+	if p.stratified {
+		fmt.Fprintf(&b, ", stratified into %d strata\n", len(p.strata))
+	} else {
+		b.WriteString(", NOT stratified (whole-program inflationary)\n")
+	}
+	for i, stratum := range p.strata {
+		mode := "one-step inflationary"
+		if p.opts.SemiNaive && stratumSemiNaiveEligible(stratum) {
+			mode = "semi-naive"
+		}
+		if p.opts.NonInflationary {
+			mode = "non-inflationary"
+		}
+		fmt.Fprintf(&b, "stratum %d (%s):\n", i, mode)
+		for _, r := range stratum {
+			tag := ""
+			if r.generated {
+				tag = "  [generated]"
+			}
+			if r.inventive {
+				tag += "  [invents oids]"
+			}
+			fmt.Fprintf(&b, "  #%d %s%s\n", r.id, r, tag)
+		}
+	}
+	for _, d := range p.denials {
+		fmt.Fprintf(&b, "denial: %s\n", d)
+	}
+	if st := p.stats; st != nil {
+		fmt.Fprintf(&b, "last run: %d steps, %d oids invented\n", st.Steps, st.Invented)
+		var ids []int
+		for id := range st.Firings {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "  rule #%d fired %d times\n", id, st.Firings[id])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package instance
+
+import (
+	"errors"
+	"fmt"
+
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+// CheckConsistency verifies the legality conditions of Definition 4:
+//
+//	(a) if C isa C' then π(C) ⊆ π(C');
+//	(b) oids shared by two classes imply a common ancestor (the oid
+//	    universe is partitioned into disjoint hierarchies);
+//	(ν) the projection of each o-value on its class's effective type is a
+//	    legal element of that type;
+//	(ρ) association tuples are legal elements of the association type and
+//	    reference only existing objects (no nil oids); class-to-class
+//	    references point to existing objects or are nil.
+//
+// All violations found are returned, joined.
+func (in *Instance) CheckConsistency() error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("instance: "+format, args...))
+	}
+	s := in.schema
+
+	// (a) isa containment.
+	for _, e := range s.IsaEdges() {
+		for o := range in.classes[e.Sub] {
+			if !in.classes[e.Super][o] {
+				report("oid %s is in %s but not in its superclass %s", o, e.Sub, e.Super)
+			}
+		}
+	}
+
+	// (b) hierarchy disjointness.
+	owner := map[value.OID]string{}
+	for _, c := range s.NamesOf(types.DeclClass) {
+		for o := range in.classes[c] {
+			if prev, ok := owner[o]; ok && prev != c && !s.SameHierarchy(prev, c) {
+				report("oid %s belongs to %s and %s, which share no common ancestor", o, prev, c)
+			} else {
+				owner[o] = c
+			}
+		}
+	}
+
+	// (ν) o-value typing + class-to-class references.
+	for _, c := range s.NamesOf(types.DeclClass) {
+		eff, err := s.EffectiveTuple(c)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for _, o := range in.Objects(c) {
+			v, ok := in.ovalues[o]
+			if !ok {
+				report("oid %s of class %s has no o-value", o, c)
+				continue
+			}
+			proj := Project(v, eff)
+			if err := s.CheckValue(eff, proj, types.NilAllowed); err != nil {
+				report("o-value of %s in class %s: %v", o, c, err)
+				continue
+			}
+			in.checkRefs(c, eff, proj, true, report)
+		}
+	}
+
+	// (ρ) association typing + referential integrity.
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		eff, err := s.EffectiveTuple(a)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for _, t := range in.Tuples(a) {
+			proj := Project(t, eff)
+			if err := s.CheckValue(eff, proj, types.NilForbidden); err != nil {
+				report("tuple of %s: %v", a, err)
+				continue
+			}
+			in.checkRefs(a, eff, proj, false, report)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkRefs walks a typed value and verifies that every class-typed
+// position references an existing object of that class (or is nil when
+// nilOK holds).
+func (in *Instance) checkRefs(owner string, t types.Type, v value.Value, nilOK bool, report func(string, ...any)) {
+	switch x := t.(type) {
+	case types.Named:
+		// Expanded types only keep Named for class references.
+		if !in.schema.IsClass(x.Name) {
+			// Unexpanded domain: expand and recurse.
+			et, err := in.schema.ExpandDomains(x)
+			if err == nil {
+				in.checkRefs(owner, et, v, nilOK, report)
+			}
+			return
+		}
+		ref, ok := v.(value.Ref)
+		if !ok {
+			if _, isNull := v.(value.Null); isNull && nilOK {
+				return
+			}
+			report("%s: expected reference to %s, got %s", owner, x.Name, v)
+			return
+		}
+		oid := value.OID(ref)
+		if oid.IsNil() {
+			if !nilOK {
+				report("%s: nil oid in association position of class %s", owner, x.Name)
+			}
+			return
+		}
+		if !in.classes[types.Canon(x.Name)][oid] {
+			report("%s: dangling reference %s to class %s", owner, oid, x.Name)
+		}
+	case types.Tuple:
+		tv, ok := v.(value.Tuple)
+		if !ok {
+			return
+		}
+		for _, f := range x.Fields {
+			if fv, found := tv.Get(f.Label); found {
+				in.checkRefs(owner, f.Type, fv, nilOK, report)
+			}
+		}
+	case types.Set:
+		if sv, ok := v.(value.Set); ok {
+			for _, e := range sv.Elems() {
+				in.checkRefs(owner, x.Elem, e, nilOK, report)
+			}
+		}
+	case types.Multiset:
+		if mv, ok := v.(value.Multiset); ok {
+			for _, e := range mv.Elems() {
+				in.checkRefs(owner, x.Elem, e, nilOK, report)
+			}
+		}
+	case types.Sequence:
+		if qv, ok := v.(value.Sequence); ok {
+			for _, e := range qv.Elems() {
+				in.checkRefs(owner, x.Elem, e, nilOK, report)
+			}
+		}
+	}
+}

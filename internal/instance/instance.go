@@ -1,0 +1,298 @@
+// Package instance implements LOGRES database instances: the triple
+// (ρ, π, ν) of Appendix A — the association assignment, the oid assignment
+// and the o-value assignment — together with the legality conditions of
+// Definition 4 (isa containment, hierarchy disjointness, typing of
+// o-values, and referential constraints between classes).
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+// Instance is one database instance over a schema.
+type Instance struct {
+	schema *types.Schema
+
+	classes map[string]map[value.OID]bool     // π: class name → set of oids
+	ovalues map[value.OID]value.Tuple         // ν: oid → o-value
+	assocs  map[string]map[string]value.Tuple // ρ: assoc name → key → tuple
+
+	nextOID int64
+}
+
+// New returns an empty instance over the given schema.
+func New(schema *types.Schema) *Instance {
+	return &Instance{
+		schema:  schema,
+		classes: map[string]map[value.OID]bool{},
+		ovalues: map[value.OID]value.Tuple{},
+		assocs:  map[string]map[string]value.Tuple{},
+	}
+}
+
+// Schema returns the instance's schema.
+func (in *Instance) Schema() *types.Schema { return in.schema }
+
+// SetSchema rebinds the instance to a (compatible) schema; used by module
+// application which evolves S while keeping the data.
+func (in *Instance) SetSchema(s *types.Schema) { in.schema = s }
+
+// NewOID invents a fresh oid (Definition 8, point b).
+func (in *Instance) NewOID() value.OID {
+	in.nextOID++
+	return value.OID(in.nextOID)
+}
+
+// OIDCounter returns the current oid counter, for snapshotting.
+func (in *Instance) OIDCounter() int64 { return in.nextOID }
+
+// SetOIDCounter restores the oid counter; used when loading snapshots. It
+// never lowers the counter.
+func (in *Instance) SetOIDCounter(n int64) {
+	if n > in.nextOID {
+		in.nextOID = n
+	}
+}
+
+// AddToClass records oid ∈ π(class) and merges the o-value. The o-value of
+// an object is shared by every class of its hierarchy; components present
+// in v overwrite equally-labelled components of the stored o-value (the ⊕
+// composition of Appendix B).
+func (in *Instance) AddToClass(class string, oid value.OID, v value.Tuple) {
+	class = types.Canon(class)
+	set := in.classes[class]
+	if set == nil {
+		set = map[value.OID]bool{}
+		in.classes[class] = set
+	}
+	set[oid] = true
+	if int64(oid) > in.nextOID {
+		in.nextOID = int64(oid)
+	}
+	prev, ok := in.ovalues[oid]
+	if !ok {
+		in.ovalues[oid] = v
+		return
+	}
+	merged := prev
+	for _, f := range v.Fields() {
+		merged = merged.With(f.Label, f.Value)
+	}
+	in.ovalues[oid] = merged
+}
+
+// SetOValue overwrites the o-value of an existing object.
+func (in *Instance) SetOValue(oid value.OID, v value.Tuple) { in.ovalues[oid] = v }
+
+// RemoveFromClass removes oid from π(class). The o-value is kept while the
+// oid belongs to any class and dropped when the last membership goes.
+func (in *Instance) RemoveFromClass(class string, oid value.OID) {
+	class = types.Canon(class)
+	if set := in.classes[class]; set != nil {
+		delete(set, oid)
+	}
+	for _, set := range in.classes {
+		if set[oid] {
+			return
+		}
+	}
+	delete(in.ovalues, oid)
+}
+
+// HasObject reports oid ∈ π(class).
+func (in *Instance) HasObject(class string, oid value.OID) bool {
+	return in.classes[types.Canon(class)][oid]
+}
+
+// OValue returns ν(oid).
+func (in *Instance) OValue(oid value.OID) (value.Tuple, bool) {
+	v, ok := in.ovalues[oid]
+	return v, ok
+}
+
+// Objects returns the oids of π(class) in ascending order.
+func (in *Instance) Objects(class string) []value.OID {
+	set := in.classes[types.Canon(class)]
+	out := make([]value.OID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClassSize reports |π(class)|.
+func (in *Instance) ClassSize(class string) int {
+	return len(in.classes[types.Canon(class)])
+}
+
+// InsertTuple adds a tuple to ρ(assoc); duplicates are absorbed (an
+// association is a set of tuples).
+func (in *Instance) InsertTuple(assoc string, t value.Tuple) {
+	assoc = types.Canon(assoc)
+	m := in.assocs[assoc]
+	if m == nil {
+		m = map[string]value.Tuple{}
+		in.assocs[assoc] = m
+	}
+	m[t.Key()] = t
+}
+
+// RemoveTuple deletes a tuple from ρ(assoc).
+func (in *Instance) RemoveTuple(assoc string, t value.Tuple) {
+	assoc = types.Canon(assoc)
+	if m := in.assocs[assoc]; m != nil {
+		delete(m, t.Key())
+	}
+}
+
+// HasTuple reports t ∈ ρ(assoc).
+func (in *Instance) HasTuple(assoc string, t value.Tuple) bool {
+	m := in.assocs[types.Canon(assoc)]
+	if m == nil {
+		return false
+	}
+	_, ok := m[t.Key()]
+	return ok
+}
+
+// Tuples returns ρ(assoc) in canonical (key) order.
+func (in *Instance) Tuples(assoc string) []value.Tuple {
+	m := in.assocs[types.Canon(assoc)]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]value.Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// AssocSize reports |ρ(assoc)|.
+func (in *Instance) AssocSize(assoc string) int {
+	return len(in.assocs[types.Canon(assoc)])
+}
+
+// Clone returns a deep-enough copy (values are immutable and shared).
+func (in *Instance) Clone() *Instance {
+	n := New(in.schema)
+	n.nextOID = in.nextOID
+	for c, set := range in.classes {
+		cp := make(map[value.OID]bool, len(set))
+		for o := range set {
+			cp[o] = true
+		}
+		n.classes[c] = cp
+	}
+	for o, v := range in.ovalues {
+		n.ovalues[o] = v
+	}
+	for a, m := range in.assocs {
+		cp := make(map[string]value.Tuple, len(m))
+		for k, t := range m {
+			cp[k] = t
+		}
+		n.assocs[a] = cp
+	}
+	return n
+}
+
+// Equal reports whether two instances contain exactly the same memberships,
+// o-values and tuples.
+func (in *Instance) Equal(other *Instance) bool {
+	if len(in.ovalues) != len(other.ovalues) {
+		return false
+	}
+	for o, v := range in.ovalues {
+		w, ok := other.ovalues[o]
+		if !ok || !value.Equal(v, w) {
+			return false
+		}
+	}
+	if !sameMembership(in.classes, other.classes) || !sameMembership(other.classes, in.classes) {
+		return false
+	}
+	return sameTuples(in.assocs, other.assocs) && sameTuples(other.assocs, in.assocs)
+}
+
+func sameMembership(a, b map[string]map[value.OID]bool) bool {
+	for c, set := range a {
+		for o := range set {
+			if !b[c][o] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameTuples(a, b map[string]map[string]value.Tuple) bool {
+	for n, m := range a {
+		for k := range m {
+			if _, ok := b[n][k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the instance deterministically, for tests and the CLI.
+func (in *Instance) String() string {
+	var b strings.Builder
+	var classNames []string
+	for c := range in.classes {
+		if len(in.classes[c]) > 0 {
+			classNames = append(classNames, c)
+		}
+	}
+	sort.Strings(classNames)
+	for _, c := range classNames {
+		fmt.Fprintf(&b, "%s:\n", c)
+		for _, o := range in.Objects(c) {
+			v := in.ovalues[o]
+			eff, err := in.schema.EffectiveTuple(c)
+			if err == nil {
+				v = Project(v, eff)
+			}
+			fmt.Fprintf(&b, "  %s %s\n", o, v)
+		}
+	}
+	var assocNames []string
+	for a := range in.assocs {
+		if len(in.assocs[a]) > 0 {
+			assocNames = append(assocNames, a)
+		}
+	}
+	sort.Strings(assocNames)
+	for _, a := range assocNames {
+		fmt.Fprintf(&b, "%s:\n", a)
+		for _, t := range in.Tuples(a) {
+			fmt.Fprintf(&b, "  %s\n", t)
+		}
+	}
+	return b.String()
+}
+
+// Project restricts an o-value to the components of an effective tuple
+// type, in type order (the Π operator of Definition 4). Components missing
+// from the o-value are projected to null.
+func Project(v value.Tuple, eff types.Tuple) value.Tuple {
+	fields := make([]value.Field, len(eff.Fields))
+	for i, f := range eff.Fields {
+		fv, ok := v.Get(f.Label)
+		if !ok {
+			fv = value.Null{}
+		}
+		fields[i] = value.Field{Label: f.Label, Value: fv}
+	}
+	return value.NewTuple(fields...)
+}

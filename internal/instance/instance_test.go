@@ -1,0 +1,335 @@
+package instance
+
+import (
+	"strings"
+	"testing"
+
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+func universitySchema(t *testing.T) *types.Schema {
+	t.Helper()
+	s := types.NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddDomain("NAME", types.String))
+	must(s.AddDomain("ADDRESS", types.String))
+	must(s.AddClass("PERSON", types.Tuple{Fields: []types.Field{
+		{Label: "name", Type: types.Named{Name: "NAME"}},
+		{Label: "address", Type: types.Named{Name: "ADDRESS"}},
+	}}))
+	must(s.AddClass("SCHOOL", types.Tuple{Fields: []types.Field{
+		{Label: "name", Type: types.Named{Name: "NAME"}},
+	}}))
+	must(s.AddClass("STUDENT", types.Tuple{Fields: []types.Field{
+		{Label: "person", Type: types.Named{Name: "PERSON"}},
+		{Label: "studschool", Type: types.Named{Name: "SCHOOL"}},
+	}}))
+	must(s.AddIsa("STUDENT", "", "PERSON"))
+	must(s.AddAssociation("ENROLLED", types.Tuple{Fields: []types.Field{
+		{Label: "student", Type: types.Named{Name: "STUDENT"}},
+		{Label: "school", Type: types.Named{Name: "SCHOOL"}},
+	}}))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func personValue(name, addr string) value.Tuple {
+	return value.NewTuple(
+		value.Field{Label: "name", Value: value.Str(name)},
+		value.Field{Label: "address", Value: value.Str(addr)},
+	)
+}
+
+func TestAddRemoveObjects(t *testing.T) {
+	in := New(universitySchema(t))
+	o := in.NewOID()
+	in.AddToClass("person", o, personValue("ann", "milan"))
+	if !in.HasObject("PERSON", o) {
+		t.Fatal("object missing after add")
+	}
+	if in.ClassSize("person") != 1 {
+		t.Fatal("class size wrong")
+	}
+	v, ok := in.OValue(o)
+	if !ok {
+		t.Fatal("o-value missing")
+	}
+	if got, _ := v.Get("name"); got != value.Str("ann") {
+		t.Fatalf("o-value = %v", v)
+	}
+	in.RemoveFromClass("person", o)
+	if in.HasObject("person", o) {
+		t.Fatal("object present after remove")
+	}
+	if _, ok := in.OValue(o); ok {
+		t.Fatal("o-value kept after last membership removed")
+	}
+}
+
+func TestOValueSharedAcrossHierarchy(t *testing.T) {
+	in := New(universitySchema(t))
+	o := in.NewOID()
+	in.AddToClass("person", o, personValue("bob", "rome"))
+	// Student adds the studschool component; name/address merge.
+	in.AddToClass("student", o, value.NewTuple(
+		value.Field{Label: "studschool", Value: value.Ref(value.NilOID)},
+	))
+	v, _ := in.OValue(o)
+	if got, _ := v.Get("name"); got != value.Str("bob") {
+		t.Fatal("merge lost name")
+	}
+	if _, ok := v.Get("studschool"); !ok {
+		t.Fatal("merge lost studschool")
+	}
+	// Removing from one class keeps the o-value while the other remains.
+	in.RemoveFromClass("student", o)
+	if _, ok := in.OValue(o); !ok {
+		t.Fatal("o-value dropped while person membership remains")
+	}
+}
+
+func TestOValueOverwriteIsRightBiased(t *testing.T) {
+	in := New(universitySchema(t))
+	o := in.NewOID()
+	in.AddToClass("person", o, personValue("ann", "milan"))
+	in.AddToClass("person", o, personValue("ann", "torino"))
+	v, _ := in.OValue(o)
+	if got, _ := v.Get("address"); got != value.Str("torino") {
+		t.Fatalf("⊕ right bias lost: %v", v)
+	}
+}
+
+func TestAssociationsAreSets(t *testing.T) {
+	in := New(universitySchema(t))
+	tup := value.NewTuple(
+		value.Field{Label: "student", Value: value.Ref(1)},
+		value.Field{Label: "school", Value: value.Ref(2)},
+	)
+	in.InsertTuple("enrolled", tup)
+	in.InsertTuple("enrolled", tup)
+	if in.AssocSize("enrolled") != 1 {
+		t.Fatal("duplicate tuple kept")
+	}
+	if !in.HasTuple("enrolled", tup) {
+		t.Fatal("tuple missing")
+	}
+	in.RemoveTuple("enrolled", tup)
+	if in.AssocSize("enrolled") != 0 {
+		t.Fatal("tuple kept after removal")
+	}
+}
+
+func TestNewOIDMonotonicAndCounterRestore(t *testing.T) {
+	in := New(universitySchema(t))
+	a, b := in.NewOID(), in.NewOID()
+	if b <= a {
+		t.Fatal("oids not monotonic")
+	}
+	in.AddToClass("person", value.OID(100), personValue("x", "y"))
+	if c := in.NewOID(); c <= 100 {
+		t.Fatalf("counter not advanced past explicit oid: %v", c)
+	}
+	in.SetOIDCounter(5) // must not lower
+	if c := in.NewOID(); c <= 100 {
+		t.Fatal("SetOIDCounter lowered the counter")
+	}
+}
+
+func TestConsistencyHappyPath(t *testing.T) {
+	in := New(universitySchema(t))
+	school := in.NewOID()
+	in.AddToClass("school", school, value.NewTuple(value.Field{Label: "name", Value: value.Str("polimi")}))
+	stud := in.NewOID()
+	sv := personValue("ann", "milan").With("studschool", value.Ref(school))
+	in.AddToClass("person", stud, sv)
+	in.AddToClass("student", stud, sv)
+	in.InsertTuple("enrolled", value.NewTuple(
+		value.Field{Label: "student", Value: value.Ref(stud)},
+		value.Field{Label: "school", Value: value.Ref(school)},
+	))
+	if err := in.CheckConsistency(); err != nil {
+		t.Fatalf("consistent instance rejected: %v", err)
+	}
+}
+
+func TestConsistencyIsaContainmentViolation(t *testing.T) {
+	in := New(universitySchema(t))
+	stud := in.NewOID()
+	sv := personValue("ann", "milan").With("studschool", value.Ref(value.NilOID))
+	in.AddToClass("student", stud, sv) // not added to person
+	err := in.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "superclass") {
+		t.Fatalf("isa containment violation missed: %v", err)
+	}
+}
+
+func TestConsistencyHierarchyDisjointness(t *testing.T) {
+	in := New(universitySchema(t))
+	o := in.NewOID()
+	in.AddToClass("person", o, personValue("x", "y"))
+	in.AddToClass("school", o, value.NewTuple(value.Field{Label: "name", Value: value.Str("s")}))
+	err := in.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "common ancestor") {
+		t.Fatalf("disjointness violation missed: %v", err)
+	}
+}
+
+func TestConsistencyDanglingAssociationRef(t *testing.T) {
+	in := New(universitySchema(t))
+	in.InsertTuple("enrolled", value.NewTuple(
+		value.Field{Label: "student", Value: value.Ref(99)},
+		value.Field{Label: "school", Value: value.Ref(98)},
+	))
+	err := in.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "dangling") {
+		t.Fatalf("dangling reference missed: %v", err)
+	}
+}
+
+func TestConsistencyNilInAssociationRejected(t *testing.T) {
+	in := New(universitySchema(t))
+	school := in.NewOID()
+	in.AddToClass("school", school, value.NewTuple(value.Field{Label: "name", Value: value.Str("s")}))
+	in.InsertTuple("enrolled", value.NewTuple(
+		value.Field{Label: "student", Value: value.Ref(value.NilOID)},
+		value.Field{Label: "school", Value: value.Ref(school)},
+	))
+	err := in.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "nil") {
+		t.Fatalf("nil oid in association accepted: %v", err)
+	}
+}
+
+func TestConsistencyNilClassRefAllowed(t *testing.T) {
+	in := New(universitySchema(t))
+	stud := in.NewOID()
+	sv := personValue("ann", "milan").With("studschool", value.Ref(value.NilOID))
+	in.AddToClass("person", stud, sv)
+	in.AddToClass("student", stud, sv)
+	if err := in.CheckConsistency(); err != nil {
+		t.Fatalf("nil class-to-class reference rejected: %v", err)
+	}
+}
+
+func TestConsistencyBadOValueType(t *testing.T) {
+	in := New(universitySchema(t))
+	o := in.NewOID()
+	in.AddToClass("person", o, value.NewTuple(
+		value.Field{Label: "name", Value: value.Int(3)}, // wrong type
+		value.Field{Label: "address", Value: value.Str("x")},
+	))
+	err := in.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "expected string") {
+		t.Fatalf("ill-typed o-value accepted: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	in := New(universitySchema(t))
+	o := in.NewOID()
+	in.AddToClass("person", o, personValue("a", "b"))
+	in.InsertTuple("enrolled", value.NewTuple(
+		value.Field{Label: "student", Value: value.Ref(o)},
+		value.Field{Label: "school", Value: value.Ref(o)},
+	))
+	cp := in.Clone()
+	if !cp.Equal(in) {
+		t.Fatal("clone differs")
+	}
+	cp.RemoveFromClass("person", o)
+	if !in.HasObject("person", o) {
+		t.Fatal("clone shares class sets")
+	}
+	if cp.Equal(in) {
+		t.Fatal("Equal missed divergence")
+	}
+}
+
+func TestProject(t *testing.T) {
+	eff := types.Tuple{Fields: []types.Field{
+		{Label: "a", Type: types.Int}, {Label: "b", Type: types.String},
+	}}
+	v := value.NewTuple(
+		value.Field{Label: "b", Value: value.Str("x")},
+		value.Field{Label: "a", Value: value.Int(1)},
+		value.Field{Label: "extra", Value: value.Int(9)},
+	)
+	p := Project(v, eff)
+	if p.Len() != 2 {
+		t.Fatalf("projection kept extra fields: %v", p)
+	}
+	if p.Field(0).Label != "a" || p.Field(1).Label != "b" {
+		t.Fatalf("projection order wrong: %v", p)
+	}
+	// Missing component projects to null.
+	p2 := Project(value.NewTuple(), eff)
+	if v0 := p2.Field(0).Value; v0.Kind() != value.KindNull {
+		t.Fatalf("missing component = %v, want null", v0)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	in := New(universitySchema(t))
+	o := in.NewOID()
+	in.AddToClass("person", o, personValue("ann", "milan"))
+	out := in.String()
+	if !strings.Contains(out, "person:") || !strings.Contains(out, `"ann"`) {
+		t.Fatalf("String() = %q", out)
+	}
+}
+
+func TestSchemaAccessorsAndSetOValue(t *testing.T) {
+	s := universitySchema(t)
+	in := New(s)
+	if in.Schema() != s {
+		t.Fatal("Schema accessor wrong")
+	}
+	s2 := s.Clone()
+	in.SetSchema(s2)
+	if in.Schema() != s2 {
+		t.Fatal("SetSchema wrong")
+	}
+	o := in.NewOID()
+	in.AddToClass("person", o, personValue("a", "b"))
+	in.SetOValue(o, personValue("x", "y"))
+	v, _ := in.OValue(o)
+	if got, _ := v.Get("name"); got != value.Str("x") {
+		t.Fatalf("SetOValue lost: %v", v)
+	}
+	if in.OIDCounter() == 0 {
+		t.Fatal("counter accessor wrong")
+	}
+}
+
+func TestCheckRefsThroughCollections(t *testing.T) {
+	// Class references nested inside sets and sequences are checked.
+	s := types.NewSchema()
+	_ = s.AddClass("ITEM", types.Tuple{Fields: []types.Field{{Label: "k", Type: types.Int}}})
+	_ = s.AddClass("BOX", types.Tuple{Fields: []types.Field{
+		{Label: "items", Type: types.Set{Elem: types.Named{Name: "ITEM"}}},
+		{Label: "order", Type: types.Sequence{Elem: types.Named{Name: "ITEM"}}},
+		{Label: "bag", Type: types.Multiset{Elem: types.Named{Name: "ITEM"}}},
+	}})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := New(s)
+	b := in.NewOID()
+	in.AddToClass("box", b, value.NewTuple(
+		value.Field{Label: "items", Value: value.NewSet(value.Ref(77))},
+		value.Field{Label: "order", Value: value.NewSequence(value.Ref(77))},
+		value.Field{Label: "bag", Value: value.NewMultiset(value.Ref(77))},
+	))
+	err := in.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "dangling") {
+		t.Fatalf("nested dangling references accepted: %v", err)
+	}
+}

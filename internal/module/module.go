@@ -1,0 +1,286 @@
+// Package module implements §4 of the paper: database states (E, R, S),
+// LOGRES modules (R_M, S_M, G_M), and the six application modes RIDI,
+// RADI, RDDI, RIDV, RADV, RDDV with their exact state-transition and
+// consistency-or-reject semantics.
+package module
+
+import (
+	"fmt"
+
+	"logres/internal/ast"
+	"logres/internal/engine"
+	"logres/internal/instance"
+	"logres/internal/types"
+)
+
+// State is a LOGRES database state: the triple (E, R, S) of extensional
+// facts, persistent rules and schema, plus the oid-invention counter. The
+// database *instance* is derived by applying R to E (§4.2) — a predicate
+// may be defined partly extensionally and partly intensionally.
+type State struct {
+	E       *engine.FactSet
+	R       []*ast.Rule
+	S       *types.Schema
+	Counter int64
+	// Lib is the registry of named modules stored with the database (the
+	// §5 "methods" direction); it evolves outside the (E, R, S) triple.
+	Lib *Library
+}
+
+// NewState returns an empty consistent state over a schema.
+func NewState(schema *types.Schema) *State {
+	return &State{E: engine.NewFactSet(), S: schema, Lib: NewLibrary()}
+}
+
+// Clone returns an independent copy of the state.
+func (st *State) Clone() *State {
+	lib := st.Lib
+	if lib != nil {
+		lib = lib.Clone()
+	}
+	return &State{
+		E:       st.E.Clone(),
+		R:       append([]*ast.Rule{}, st.R...),
+		S:       st.S.Clone(),
+		Counter: st.Counter,
+		Lib:     lib,
+	}
+}
+
+// Instance computes the database instance I such that (E, I) ∈ 𝒯(R):
+// the persistent rules applied to the extensional facts under the
+// inflationary semantics. It verifies Definition 4 consistency and the
+// passive constraints; an inconsistent instance is an error (the mapping
+// M is partial, §4.1).
+func (st *State) Instance(opts engine.Options) (*engine.FactSet, *instance.Instance, error) {
+	prog, err := engine.Compile(st.S, st.R, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	counter := st.Counter
+	f, err := prog.Run(st.E, &counter)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Counter = counter
+	in := engine.ToInstance(f, st.S, counter)
+	if err := in.CheckConsistency(); err != nil {
+		return nil, nil, fmt.Errorf("module: instance inconsistent: %w", err)
+	}
+	if err := prog.CheckDenials(f); err != nil {
+		return nil, nil, err
+	}
+	return f, in, nil
+}
+
+// Result is the outcome of a module application: the new database state
+// (identical to the input state for data/rule-invariant aspects) and, for
+// the data-invariant modes, the goal answer.
+type Result struct {
+	State    *State
+	Instance *instance.Instance
+	Answer   *engine.Answer
+}
+
+// Apply applies module m to state st with the given mode. It never mutates
+// st: on success the result carries the new state; on rejection
+// (inconsistent new instance) the error describes the violation and the
+// original state remains valid. mode overrides the module's declared
+// default; pass m.Mode (or use ApplyDeclared) to honour the declaration.
+func Apply(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (*Result, error) {
+	if !mode.HasGoal() && len(m.Goal) > 0 {
+		return nil, fmt.Errorf("module: mode %s does not admit a goal (§4.1)", mode)
+	}
+	if m.NonInflationary {
+		// §1: modules are parametric in the semantics of their rules.
+		opts.NonInflationary = true
+	}
+	switch mode {
+	case ast.RIDI:
+		return applyRIDI(st, m, opts)
+	case ast.RADI:
+		return applyRuleChange(st, m, opts, true)
+	case ast.RDDI:
+		return applyRuleChange(st, m, opts, false)
+	case ast.RIDV:
+		return applyDataVariant(st, m, opts, ast.RIDV)
+	case ast.RADV:
+		return applyDataVariant(st, m, opts, ast.RADV)
+	case ast.RDDV:
+		return applyDataVariant(st, m, opts, ast.RDDV)
+	}
+	return nil, fmt.Errorf("module: unknown mode %v", mode)
+}
+
+// ApplyDeclared applies the module with its declared mode (RIDI when none
+// was declared).
+func ApplyDeclared(st *State, m *ast.Module, opts engine.Options) (*Result, error) {
+	return Apply(st, m, m.Mode, opts)
+}
+
+// applyRIDI — Rule Invariant, Data Invariant: an ordinary query. S_M and
+// R_M are added temporarily, the goal is evaluated over R0 ∪ RM against
+// E0, and the state does not change.
+func applyRIDI(st *State, m *ast.Module, opts engine.Options) (*Result, error) {
+	work := st.Clone()
+	s1, err := work.S.Union(m.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := s1.Validate(); err != nil {
+		return nil, err
+	}
+	work.S = s1
+	work.R = append(work.R, m.Rules...)
+	f, in, err := work.Instance(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{State: st, Instance: in}
+	if len(m.Goal) > 0 {
+		prog, err := engine.Compile(work.S, work.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		ans, err := prog.Query(f, m.Goal)
+		if err != nil {
+			return nil, err
+		}
+		res.Answer = ans
+	}
+	return res, nil
+}
+
+// applyRuleChange — RADI adds (RDDI deletes) rules and type equations in
+// the persistent state; E is untouched. The new state must yield a
+// consistent instance or the update is rejected.
+func applyRuleChange(st *State, m *ast.Module, opts engine.Options, add bool) (*Result, error) {
+	next := st.Clone()
+	if add {
+		s1, err := next.S.Union(m.Schema)
+		if err != nil {
+			return nil, err
+		}
+		next.S = s1
+		next.R = append(next.R, m.Rules...)
+	} else {
+		next.S = next.S.Subtract(m.Schema)
+		next.R = subtractRules(next.R, m.Rules)
+	}
+	if err := next.S.Validate(); err != nil {
+		return nil, fmt.Errorf("module: rejected, schema invalid: %w", err)
+	}
+	f, in, err := next.Instance(opts)
+	if err != nil {
+		return nil, fmt.Errorf("module: rejected: %w", err)
+	}
+	res := &Result{State: next, Instance: in}
+	if len(m.Goal) > 0 {
+		prog, err := engine.Compile(next.S, next.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		ans, err := prog.Query(f, m.Goal)
+		if err != nil {
+			return nil, err
+		}
+		res.Answer = ans
+	}
+	return res, nil
+}
+
+// applyDataVariant — the three EDB-updating modes. E1 is computed by
+// applying the update rules R_M to E0 (with the active constraints
+// generated from the schema); the persistent rules evolve per mode. No
+// goal answer is provided (§4.1).
+func applyDataVariant(st *State, m *ast.Module, opts engine.Options, mode ast.Mode) (*Result, error) {
+	next := st.Clone()
+	var s1 *types.Schema
+	var err error
+	switch mode {
+	case ast.RDDV:
+		s1 = next.S.Subtract(m.Schema)
+	default: // RIDV adds S_M(EDB); RADV adds all of S_M. We add all of
+		// S_M in both cases: the paper's S_M(EDB) is the subset describing
+		// new EDB types, and adding unused equations is harmless.
+		s1, err = next.S.Union(m.Schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := s1.Validate(); err != nil {
+		return nil, fmt.Errorf("module: rejected, schema invalid: %w", err)
+	}
+
+	switch mode {
+	case ast.RIDV:
+		// Rules unchanged.
+	case ast.RADV:
+		next.R = append(next.R, m.Rules...)
+	case ast.RDDV:
+		next.R = subtractRules(next.R, m.Rules)
+	}
+
+	if mode == ast.RDDV {
+		// E1 = E0 − EM, where EM is the instance of (∅, R_M).
+		prog, err := engine.Compile(s1, m.Rules, opts)
+		if err != nil {
+			return nil, err
+		}
+		counter := next.Counter
+		em, err := prog.Run(engine.NewFactSet(), &counter)
+		if err != nil {
+			return nil, err
+		}
+		next.Counter = counter
+		next.E = next.E.Minus(em)
+	} else {
+		// E1 = R_M applied to E0.
+		prog, err := engine.Compile(s1, m.Rules, opts)
+		if err != nil {
+			return nil, err
+		}
+		counter := next.Counter
+		e1, err := prog.Run(next.E, &counter)
+		if err != nil {
+			return nil, err
+		}
+		next.Counter = counter
+		next.E = e1
+	}
+	next.S = s1
+
+	_, in, err := next.Instance(opts)
+	if err != nil {
+		return nil, fmt.Errorf("module: rejected: %w", err)
+	}
+	return &Result{State: next, Instance: in}, nil
+}
+
+// subtractRules removes rules structurally equal to any of sub.
+func subtractRules(rules, sub []*ast.Rule) []*ast.Rule {
+	drop := map[string]bool{}
+	for _, r := range sub {
+		drop[r.String()] = true
+	}
+	var out []*ast.Rule
+	for _, r := range rules {
+		if !drop[r.String()] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Materialize implements the §4.2 idiom "materializing the instance": the
+// persistent rules are applied once in RIDV fashion so that E coincides
+// with I, and R is cleared.
+func Materialize(st *State, opts engine.Options) (*State, error) {
+	mod := &ast.Module{Schema: types.NewSchema(), Rules: st.R}
+	res, err := Apply(st, mod, ast.RIDV, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.State.R = nil
+	return res.State, nil
+}

@@ -1,0 +1,95 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the parser must never panic, whatever the input — random
+// byte soup, truncations and mutations of valid programs all return
+// either a module or an error.
+
+var corpus = []string{
+	`
+module football.
+mode ridv.
+semantics noninflationary.
+domains NAME = string;
+classes
+  PLAYER = (NAME, roles: {integer});
+  STUDENT isa PERSON;
+associations GAME = (h: PLAYER, d: string);
+functions DESC: NAME -> {NAME};
+rules
+  member(X, desc(Y)) <- parent(par: Y, chil: X), X != 3, not q(X).
+  not p(Y) <- p(Y), Y = (a: X, b: W).
+goal
+  ?- game(h: X), X >= 2.
+end.
+`,
+	`p(a: {1, 2}, b: [3], c: <4, 5>) <- q(X), X = Y + 1 * 2 - 3 / 4 mod 5.`,
+	`<- married(X), divorced(X).`,
+}
+
+func safeParse(t *testing.T, src string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked on %q: %v", src, r)
+		}
+	}()
+	_, _ = ParseModule(src)
+	_, _ = ParseProgram(src)
+	_, _ = ParseGoal(src)
+}
+
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		safeParse(t, string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	alphabet := []byte(`abcXYZ0159 .,;:(){}[]<>"=+-*/_%?-<-`)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := []byte(corpus[r.Intn(len(corpus))])
+		// Apply a handful of random mutations.
+		for i := 0; i < 1+r.Intn(6); i++ {
+			if len(src) == 0 {
+				break
+			}
+			pos := r.Intn(len(src))
+			switch r.Intn(3) {
+			case 0: // flip
+				src[pos] = alphabet[r.Intn(len(alphabet))]
+			case 1: // delete
+				src = append(src[:pos], src[pos+1:]...)
+			case 2: // truncate
+				src = src[:pos]
+			}
+		}
+		safeParse(t, string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserCorpusParses(t *testing.T) {
+	if _, err := ParseModule(corpus[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseProgram(corpus[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseProgram(corpus[2]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+// Package storage persists LOGRES database states: a deterministic binary
+// codec for values, type descriptors, schemas, fact sets and whole states
+// (E, R, S, oid counter). Rules are stored in their canonical surface
+// syntax and re-parsed on load (the parser round-trips).
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+// value encoding tags
+const (
+	tagInt byte = iota + 1
+	tagReal
+	tagString
+	tagBool
+	tagRef
+	tagNull
+	tagTuple
+	tagSet
+	tagMultiset
+	tagSequence
+)
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) byte(b byte) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(b)
+	}
+}
+
+func (w *writer) uvarint(x uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *writer) varint(x int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], x)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (r *reader) byte() (byte, error) { return r.r.ReadByte() }
+
+func (r *reader) uvarint() (uint64, error) { return binary.ReadUvarint(r.r) }
+
+func (r *reader) varint() (int64, error) { return binary.ReadVarint(r.r) }
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("storage: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (w *writer) value(v value.Value) {
+	switch x := v.(type) {
+	case value.Int:
+		w.byte(tagInt)
+		w.varint(int64(x))
+	case value.Real:
+		w.byte(tagReal)
+		w.uvarint(math.Float64bits(float64(x)))
+	case value.Str:
+		w.byte(tagString)
+		w.str(string(x))
+	case value.Bool:
+		w.byte(tagBool)
+		if x {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+	case value.Ref:
+		w.byte(tagRef)
+		w.varint(int64(x))
+	case value.Null:
+		w.byte(tagNull)
+	case value.Tuple:
+		w.byte(tagTuple)
+		w.uvarint(uint64(x.Len()))
+		for i := 0; i < x.Len(); i++ {
+			f := x.Field(i)
+			w.str(f.Label)
+			w.value(f.Value)
+		}
+	case value.Set:
+		w.byte(tagSet)
+		w.elems(x.Elems())
+	case value.Multiset:
+		w.byte(tagMultiset)
+		w.elems(x.Elems())
+	case value.Sequence:
+		w.byte(tagSequence)
+		w.elems(x.Elems())
+	default:
+		if w.err == nil {
+			w.err = fmt.Errorf("storage: cannot encode %T", v)
+		}
+	}
+}
+
+func (w *writer) elems(es []value.Value) {
+	w.uvarint(uint64(len(es)))
+	for _, e := range es {
+		w.value(e)
+	}
+}
+
+func (r *reader) value() (value.Value, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagInt:
+		x, err := r.varint()
+		return value.Int(x), err
+	case tagReal:
+		bits, err := r.uvarint()
+		return value.Real(math.Float64frombits(bits)), err
+	case tagString:
+		s, err := r.str()
+		return value.Str(s), err
+	case tagBool:
+		b, err := r.byte()
+		return value.Bool(b != 0), err
+	case tagRef:
+		x, err := r.varint()
+		return value.Ref(x), err
+	case tagNull:
+		return value.Null{}, nil
+	case tagTuple:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		fields := make([]value.Field, n)
+		for i := range fields {
+			label, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.value()
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = value.Field{Label: label, Value: v}
+		}
+		return value.NewTuple(fields...), nil
+	case tagSet, tagMultiset, tagSequence:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		elems := make([]value.Value, n)
+		for i := range elems {
+			if elems[i], err = r.value(); err != nil {
+				return nil, err
+			}
+		}
+		switch tag {
+		case tagSet:
+			return value.NewSet(elems...), nil
+		case tagMultiset:
+			return value.NewMultiset(elems...), nil
+		default:
+			return value.NewSequence(elems...), nil
+		}
+	}
+	return nil, fmt.Errorf("storage: unknown value tag %d", tag)
+}
+
+// type encoding tags
+const (
+	tyInt byte = iota + 1
+	tyReal
+	tyString
+	tyBool
+	tyNamed
+	tyTuple
+	tySet
+	tyMultiset
+	tySequence
+	tyNil // absent type (nullary function argument)
+)
+
+func (w *writer) typ(t types.Type) {
+	switch x := t.(type) {
+	case nil:
+		w.byte(tyNil)
+	case types.Elementary:
+		switch x.K {
+		case types.KindInt:
+			w.byte(tyInt)
+		case types.KindReal:
+			w.byte(tyReal)
+		case types.KindString:
+			w.byte(tyString)
+		case types.KindBool:
+			w.byte(tyBool)
+		default:
+			if w.err == nil {
+				w.err = fmt.Errorf("storage: bad elementary kind %v", x.K)
+			}
+		}
+	case types.Named:
+		w.byte(tyNamed)
+		w.str(x.Name)
+	case types.Tuple:
+		w.byte(tyTuple)
+		w.uvarint(uint64(len(x.Fields)))
+		for _, f := range x.Fields {
+			w.str(f.Label)
+			w.typ(f.Type)
+		}
+	case types.Set:
+		w.byte(tySet)
+		w.typ(x.Elem)
+	case types.Multiset:
+		w.byte(tyMultiset)
+		w.typ(x.Elem)
+	case types.Sequence:
+		w.byte(tySequence)
+		w.typ(x.Elem)
+	default:
+		if w.err == nil {
+			w.err = fmt.Errorf("storage: cannot encode type %T", t)
+		}
+	}
+}
+
+func (r *reader) typ() (types.Type, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tyNil:
+		return nil, nil
+	case tyInt:
+		return types.Int, nil
+	case tyReal:
+		return types.Real, nil
+	case tyString:
+		return types.String, nil
+	case tyBool:
+		return types.Bool, nil
+	case tyNamed:
+		name, err := r.str()
+		return types.Named{Name: name}, err
+	case tyTuple:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		fields := make([]types.Field, n)
+		for i := range fields {
+			label, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			ft, err := r.typ()
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = types.Field{Label: label, Type: ft}
+		}
+		return types.Tuple{Fields: fields}, nil
+	case tySet:
+		e, err := r.typ()
+		return types.Set{Elem: e}, err
+	case tyMultiset:
+		e, err := r.typ()
+		return types.Multiset{Elem: e}, err
+	case tySequence:
+		e, err := r.typ()
+		return types.Sequence{Elem: e}, err
+	}
+	return nil, fmt.Errorf("storage: unknown type tag %d", tag)
+}
+
+func (w *writer) schema(s *types.Schema) {
+	names := s.Names()
+	w.uvarint(uint64(len(names)))
+	for _, n := range names {
+		d, _ := s.Lookup(n)
+		w.str(d.Name)
+		w.byte(byte(d.Kind))
+		w.typ(d.RHS)
+		w.typ(d.Arg)
+		w.typ(d.Result)
+	}
+	edges := s.IsaEdges()
+	w.uvarint(uint64(len(edges)))
+	for _, e := range edges {
+		w.str(e.Sub)
+		w.str(e.Label)
+		w.str(e.Super)
+	}
+}
+
+func (r *reader) schema() (*types.Schema, error) {
+	s := types.NewSchema()
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := r.typ()
+		if err != nil {
+			return nil, err
+		}
+		arg, err := r.typ()
+		if err != nil {
+			return nil, err
+		}
+		result, err := r.typ()
+		if err != nil {
+			return nil, err
+		}
+		switch types.DeclKind(kind) {
+		case types.DeclDomain:
+			err = s.AddDomain(name, rhs)
+		case types.DeclClass:
+			err = s.AddClass(name, rhs)
+		case types.DeclAssociation:
+			err = s.AddAssociation(name, rhs)
+		case types.DeclFunction:
+			err = s.AddFunction(name, arg, result)
+		default:
+			err = fmt.Errorf("storage: unknown decl kind %d", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	en, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < en; i++ {
+		sub, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		label, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		super, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddIsa(sub, label, super); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

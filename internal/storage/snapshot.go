@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"logres/internal/engine"
+	"logres/internal/module"
+	"logres/internal/parser"
+	"logres/internal/value"
+)
+
+// Snapshot format:
+//
+//	magic "LGRS", version byte,
+//	schema, rule text (canonical syntax), fact set, oid counter.
+const (
+	magic   = "LGRS"
+	version = 2 // v2 added the module library section
+)
+
+// SaveState writes a complete database state.
+func SaveState(dst io.Writer, st *module.State) error {
+	w := &writer{w: bufio.NewWriter(dst)}
+	w.str(magic)
+	w.byte(version)
+	w.schema(st.S)
+
+	var rules strings.Builder
+	for _, r := range st.R {
+		rules.WriteString(r.String())
+		rules.WriteByte('\n')
+	}
+	w.str(rules.String())
+
+	writeFactSet(w, st.E)
+	w.varint(st.Counter)
+
+	var libSources []string
+	if st.Lib != nil {
+		libSources = st.Lib.Sources()
+	}
+	w.uvarint(uint64(len(libSources)))
+	for _, src := range libSources {
+		w.str(src)
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func writeFactSet(w *writer, fs *engine.FactSet) {
+	preds := fs.Preds()
+	w.uvarint(uint64(len(preds)))
+	for _, p := range preds {
+		facts := fs.Facts(p)
+		w.str(p)
+		w.uvarint(uint64(len(facts)))
+		for _, f := range facts {
+			if f.IsClass {
+				w.byte(1)
+				w.varint(int64(f.OID))
+			} else {
+				w.byte(0)
+			}
+			w.value(f.Tuple)
+		}
+	}
+}
+
+// LoadState reads a database state written by SaveState.
+func LoadState(src io.Reader) (*module.State, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	m, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("storage: bad magic %q", m)
+	}
+	v, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("storage: unsupported snapshot version %d", v)
+	}
+	schema, err := r.schema()
+	if err != nil {
+		return nil, err
+	}
+	ruleText, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	st := module.NewState(schema)
+	if strings.TrimSpace(ruleText) != "" {
+		rules, err := parser.ParseProgram(ruleText)
+		if err != nil {
+			return nil, fmt.Errorf("storage: reparsing rules: %w", err)
+		}
+		st.R = rules
+	}
+	fs, err := readFactSet(r)
+	if err != nil {
+		return nil, err
+	}
+	st.E = fs
+	counter, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	st.Counter = counter
+
+	nLib, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]string, 0, nLib)
+	for i := uint64(0); i < nLib; i++ {
+		src, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, src)
+	}
+	if err := st.Lib.LoadSources(sources); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func readFactSet(r *reader) (*engine.FactSet, error) {
+	fs := engine.NewFactSet()
+	np, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < np; i++ {
+		pred, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		nf, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nf; j++ {
+			isClass, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			f := engine.Fact{Pred: pred}
+			if isClass == 1 {
+				f.IsClass = true
+				oid, err := r.varint()
+				if err != nil {
+					return nil, err
+				}
+				f.OID = value.OID(oid)
+			}
+			v, err := r.value()
+			if err != nil {
+				return nil, err
+			}
+			t, ok := v.(value.Tuple)
+			if !ok {
+				return nil, fmt.Errorf("storage: fact payload is not a tuple")
+			}
+			f.Tuple = t
+			fs.Add(f)
+		}
+	}
+	return fs, nil
+}

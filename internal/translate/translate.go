@@ -1,0 +1,397 @@
+// Package translate implements the paper's implementation route ([Ca90],
+// "Implementing an Object-Oriented Data Model in Relational Algebra",
+// cited in §5): the translation of the LOGRES data model into the
+// relational model of the ALGRES substrate.
+//
+// Two targets are provided:
+//
+//   - the NF² target (ToNF2/FromNF2): each class becomes one extended
+//     relation with a distinguished "$oid" attribute, components keep
+//     their constructed values (sets/multisets/sequences stay nested) —
+//     this is ALGRES's native model;
+//   - the flat target (ToFlat/FromFlat): collection-valued components are
+//     normalized into auxiliary relations keyed by the owner ("$oid" for
+//     classes, a surrogate "$tid" for associations), with "$pos" recording
+//     sequence order and one row per multiset occurrence — the classical
+//     1NF encoding.
+//
+// Both translations are lossless; FromNF2/FromFlat invert them exactly.
+package translate
+
+import (
+	"fmt"
+
+	"logres/internal/algres"
+	"logres/internal/instance"
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+// Distinguished attribute names used by the translation.
+const (
+	OIDAttr  = "$oid"
+	TIDAttr  = "$tid"
+	PosAttr  = "$pos"
+	ElemAttr = "$elem"
+)
+
+// auxName names the auxiliary relation of a collection component.
+func auxName(owner, label string) string { return owner + "$" + label }
+
+// NF2Catalog returns the relation schemas of the NF² target.
+func NF2Catalog(s *types.Schema) (map[string][]string, error) {
+	out := map[string][]string{}
+	for _, c := range s.NamesOf(types.DeclClass) {
+		eff, err := s.EffectiveTuple(c)
+		if err != nil {
+			return nil, err
+		}
+		attrs := []string{OIDAttr}
+		for _, f := range eff.Fields {
+			attrs = append(attrs, f.Label)
+		}
+		out[c] = attrs
+	}
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		eff, err := s.EffectiveTuple(a)
+		if err != nil {
+			return nil, err
+		}
+		var attrs []string
+		for _, f := range eff.Fields {
+			attrs = append(attrs, f.Label)
+		}
+		out[a] = attrs
+	}
+	return out, nil
+}
+
+// ToNF2 translates an instance into the NF² relational target.
+func ToNF2(in *instance.Instance) (*algres.DB, error) {
+	s := in.Schema()
+	cat, err := NF2Catalog(s)
+	if err != nil {
+		return nil, err
+	}
+	db := algres.NewDB()
+	for name, attrs := range cat {
+		db.Set(name, algres.NewRelation(attrs...))
+	}
+	for _, c := range s.NamesOf(types.DeclClass) {
+		rel, _ := db.Get(c)
+		eff, _ := s.EffectiveTuple(c)
+		for _, oid := range in.Objects(c) {
+			v, _ := in.OValue(oid)
+			proj := instance.Project(v, eff)
+			rel.Insert(proj.With(OIDAttr, value.Ref(oid)))
+		}
+	}
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		rel, _ := db.Get(a)
+		for _, t := range in.Tuples(a) {
+			rel.Insert(t)
+		}
+	}
+	return db, nil
+}
+
+// FromNF2 inverts ToNF2.
+func FromNF2(db *algres.DB, s *types.Schema) (*instance.Instance, error) {
+	in := instance.New(s)
+	for _, c := range s.NamesOf(types.DeclClass) {
+		rel, ok := db.Get(c)
+		if !ok {
+			continue
+		}
+		for _, t := range rel.Tuples() {
+			ov, ok := t.Get(OIDAttr)
+			if !ok {
+				return nil, fmt.Errorf("translate: class relation %q lacks %s", c, OIDAttr)
+			}
+			ref, ok := ov.(value.Ref)
+			if !ok {
+				return nil, fmt.Errorf("translate: %s of %q is %s, not an oid", OIDAttr, c, ov.Kind())
+			}
+			fields := make([]value.Field, 0, t.Len()-1)
+			for i := 0; i < t.Len(); i++ {
+				f := t.Field(i)
+				if f.Label != OIDAttr {
+					fields = append(fields, f)
+				}
+			}
+			in.AddToClass(c, value.OID(ref), value.NewTuple(fields...))
+		}
+	}
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		rel, ok := db.Get(a)
+		if !ok {
+			continue
+		}
+		for _, t := range rel.Tuples() {
+			in.InsertTuple(a, t)
+		}
+	}
+	return in, nil
+}
+
+// FlatCatalog returns the relation schemas of the flat target: the main
+// relation of each class/association plus one auxiliary relation per
+// collection-valued component.
+func FlatCatalog(s *types.Schema) (map[string][]string, error) {
+	out := map[string][]string{}
+	add := func(owner string, eff types.Tuple, keyAttr string) error {
+		attrs := []string{keyAttr}
+		for _, f := range eff.Fields {
+			et, err := s.ExpandDomains(f.Type)
+			if err != nil {
+				return err
+			}
+			switch et.(type) {
+			case types.Set:
+				out[auxName(owner, f.Label)] = []string{keyAttr, ElemAttr}
+			case types.Multiset:
+				// Occurrences are distinguished by position, preserving
+				// multiplicity.
+				out[auxName(owner, f.Label)] = []string{keyAttr, ElemAttr, PosAttr}
+			case types.Sequence:
+				out[auxName(owner, f.Label)] = []string{keyAttr, PosAttr, ElemAttr}
+			default:
+				attrs = append(attrs, f.Label)
+			}
+		}
+		out[owner] = attrs
+		return nil
+	}
+	for _, c := range s.NamesOf(types.DeclClass) {
+		eff, err := s.EffectiveTuple(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(c, eff, OIDAttr); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		eff, err := s.EffectiveTuple(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(a, eff, TIDAttr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// isCollection reports whether a component type expands to a collection,
+// and which kind.
+func collectionKind(s *types.Schema, t types.Type) (value.Kind, bool) {
+	et, err := s.ExpandDomains(t)
+	if err != nil {
+		return 0, false
+	}
+	switch et.(type) {
+	case types.Set:
+		return value.KindSet, true
+	case types.Multiset:
+		return value.KindMultiset, true
+	case types.Sequence:
+		return value.KindSequence, true
+	}
+	return 0, false
+}
+
+// ToFlat translates an instance into the flat target.
+func ToFlat(in *instance.Instance) (*algres.DB, error) {
+	s := in.Schema()
+	cat, err := FlatCatalog(s)
+	if err != nil {
+		return nil, err
+	}
+	db := algres.NewDB()
+	for name, attrs := range cat {
+		db.Set(name, algres.NewRelation(attrs...))
+	}
+
+	explode := func(owner string, eff types.Tuple, key value.Value, t value.Tuple) error {
+		main, _ := db.Get(owner)
+		keyAttr := main.Attrs()[0]
+		fields := []value.Field{{Label: keyAttr, Value: key}}
+		for _, f := range eff.Fields {
+			v, ok := t.Get(f.Label)
+			if !ok {
+				v = value.Null{}
+			}
+			if _, isColl := collectionKind(s, f.Type); !isColl {
+				fields = append(fields, value.Field{Label: f.Label, Value: v})
+				continue
+			}
+			aux, _ := db.Get(auxName(owner, f.Label))
+			switch x := v.(type) {
+			case value.Set:
+				for _, el := range x.Elems() {
+					aux.Insert(value.NewTuple(
+						value.Field{Label: keyAttr, Value: key},
+						value.Field{Label: ElemAttr, Value: el},
+					))
+				}
+			case value.Multiset:
+				// One row per occurrence: disambiguate with a position.
+				for i, el := range x.Elems() {
+					aux.Insert(value.NewTuple(
+						value.Field{Label: keyAttr, Value: key},
+						value.Field{Label: ElemAttr, Value: el},
+						value.Field{Label: PosAttr, Value: value.Int(int64(i))},
+					))
+				}
+			case value.Sequence:
+				for i, el := range x.Elems() {
+					aux.Insert(value.NewTuple(
+						value.Field{Label: keyAttr, Value: key},
+						value.Field{Label: PosAttr, Value: value.Int(int64(i))},
+						value.Field{Label: ElemAttr, Value: el},
+					))
+				}
+			case value.Null:
+				// Absent collection: no aux rows.
+			default:
+				return fmt.Errorf("translate: component %s.%s holds %s, expected a collection",
+					owner, f.Label, v.Kind())
+			}
+		}
+		main.Insert(value.NewTuple(fields...))
+		return nil
+	}
+
+	for _, c := range s.NamesOf(types.DeclClass) {
+		eff, _ := s.EffectiveTuple(c)
+		for _, oid := range in.Objects(c) {
+			v, _ := in.OValue(oid)
+			if err := explode(c, eff, value.Ref(oid), instance.Project(v, eff)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		eff, _ := s.EffectiveTuple(a)
+		for _, t := range in.Tuples(a) {
+			tid := value.Str(t.Key()) // deterministic surrogate
+			if err := explode(a, eff, tid, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// FromFlat inverts ToFlat.
+func FromFlat(db *algres.DB, s *types.Schema) (*instance.Instance, error) {
+	in := instance.New(s)
+	rebuild := func(owner string, eff types.Tuple, keyAttr string, emit func(key value.Value, t value.Tuple) error) error {
+		main, ok := db.Get(owner)
+		if !ok {
+			return nil
+		}
+		// Collect auxiliary rows grouped by key.
+		collected := map[string]map[string][]value.Tuple{} // label → key → rows
+		for _, f := range eff.Fields {
+			if _, isColl := collectionKind(s, f.Type); !isColl {
+				continue
+			}
+			aux, ok := db.Get(auxName(owner, f.Label))
+			if !ok {
+				continue
+			}
+			byKey := map[string][]value.Tuple{}
+			for _, row := range aux.Tuples() {
+				k, _ := row.Get(keyAttr)
+				byKey[k.Key()] = append(byKey[k.Key()], row)
+			}
+			collected[f.Label] = byKey
+		}
+		for _, row := range main.Tuples() {
+			key, _ := row.Get(keyAttr)
+			fields := make([]value.Field, 0, len(eff.Fields))
+			for _, f := range eff.Fields {
+				kind, isColl := collectionKind(s, f.Type)
+				if !isColl {
+					v, ok := row.Get(f.Label)
+					if !ok {
+						v = value.Null{}
+					}
+					fields = append(fields, value.Field{Label: f.Label, Value: v})
+					continue
+				}
+				rows := collected[f.Label][key.Key()]
+				elems := make([]value.Value, 0, len(rows))
+				if kind == value.KindSequence || kind == value.KindMultiset {
+					// Order by position.
+					byPos := map[int64]value.Value{}
+					for _, r := range rows {
+						p, _ := r.Get(PosAttr)
+						el, _ := r.Get(ElemAttr)
+						byPos[int64(p.(value.Int))] = el
+					}
+					for i := int64(0); i < int64(len(rows)); i++ {
+						el, ok := byPos[i]
+						if !ok {
+							return fmt.Errorf("translate: %s.%s: missing position %d", owner, f.Label, i)
+						}
+						elems = append(elems, el)
+					}
+				} else {
+					for _, r := range rows {
+						el, _ := r.Get(ElemAttr)
+						elems = append(elems, el)
+					}
+				}
+				var v value.Value
+				switch kind {
+				case value.KindSet:
+					v = value.NewSet(elems...)
+				case value.KindMultiset:
+					v = value.NewMultiset(elems...)
+				default:
+					v = value.NewSequence(elems...)
+				}
+				fields = append(fields, value.Field{Label: f.Label, Value: v})
+			}
+			if err := emit(key, value.NewTuple(fields...)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, c := range s.NamesOf(types.DeclClass) {
+		eff, err := s.EffectiveTuple(c)
+		if err != nil {
+			return nil, err
+		}
+		err = rebuild(c, eff, OIDAttr, func(key value.Value, t value.Tuple) error {
+			ref, ok := key.(value.Ref)
+			if !ok {
+				return fmt.Errorf("translate: class %q key is %s", c, key.Kind())
+			}
+			in.AddToClass(c, value.OID(ref), t)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range s.NamesOf(types.DeclAssociation) {
+		eff, err := s.EffectiveTuple(a)
+		if err != nil {
+			return nil, err
+		}
+		err = rebuild(a, eff, TIDAttr, func(_ value.Value, t value.Tuple) error {
+			in.InsertTuple(a, t)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,245 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logres/internal/algres"
+	"logres/internal/instance"
+	"logres/internal/parser"
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+func footballInstance(t *testing.T) *instance.Instance {
+	t.Helper()
+	m, err := parser.ParseModule(`
+domains
+  NAME = string;
+  ROLE = integer;
+classes
+  PLAYER = (name: NAME, roles: {ROLE});
+  TEAM = (team_name: NAME, base_players: <PLAYER>, substitutes: {PLAYER});
+associations
+  GAME = (h_team: TEAM, g_team: TEAM, score: integer);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := instance.New(m.Schema)
+	p1, p2 := in.NewOID(), in.NewOID()
+	in.AddToClass("player", p1, value.NewTuple(
+		value.Field{Label: "name", Value: value.Str("rossi")},
+		value.Field{Label: "roles", Value: value.NewSet(value.Int(9), value.Int(11))},
+	))
+	in.AddToClass("player", p2, value.NewTuple(
+		value.Field{Label: "name", Value: value.Str("verdi")},
+		value.Field{Label: "roles", Value: value.NewSet(value.Int(7))},
+	))
+	tm := in.NewOID()
+	in.AddToClass("team", tm, value.NewTuple(
+		value.Field{Label: "team_name", Value: value.Str("milan")},
+		value.Field{Label: "base_players", Value: value.NewSequence(value.Ref(p1), value.Ref(p2))},
+		value.Field{Label: "substitutes", Value: value.NewSet(value.Ref(p2))},
+	))
+	in.InsertTuple("game", value.NewTuple(
+		value.Field{Label: "h_team", Value: value.Ref(tm)},
+		value.Field{Label: "g_team", Value: value.Ref(tm)},
+		value.Field{Label: "score", Value: value.Int(3)},
+	))
+	if err := in.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNF2RoundTrip(t *testing.T) {
+	in := footballInstance(t)
+	db, err := ToNF2(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	players, _ := db.Get("player")
+	if players.Len() != 2 || !players.HasAttr(OIDAttr) {
+		t.Fatalf("player relation = %s", players)
+	}
+	back, err := FromNF2(db, in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(in) {
+		t.Fatalf("NF² round trip lost data:\n%s\nvs\n%s", in, back)
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	in := footballInstance(t)
+	db, err := ToFlat(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flat target has auxiliary relations for the collections.
+	for _, name := range []string{"player$roles", "team$base_players", "team$substitutes"} {
+		aux, ok := db.Get(name)
+		if !ok {
+			t.Fatalf("missing auxiliary relation %q (have %v)", name, db.Names())
+		}
+		if aux.Len() == 0 {
+			t.Fatalf("auxiliary relation %q empty", name)
+		}
+	}
+	// Main relations are flat: no constructed values.
+	main, _ := db.Get("player")
+	for _, tup := range main.Tuples() {
+		for i := 0; i < tup.Len(); i++ {
+			switch tup.Field(i).Value.Kind() {
+			case value.KindSet, value.KindMultiset, value.KindSequence:
+				t.Fatalf("flat relation holds a collection: %v", tup)
+			}
+		}
+	}
+	back, err := FromFlat(db, in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(in) {
+		t.Fatalf("flat round trip lost data:\n%s\nvs\n%s", in, back)
+	}
+}
+
+func TestFlatCatalogShapes(t *testing.T) {
+	in := footballInstance(t)
+	cat, err := FlatCatalog(in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat["player"]; len(got) != 2 || got[0] != OIDAttr || got[1] != "name" {
+		t.Fatalf("player catalog = %v", got)
+	}
+	if got := cat["team$base_players"]; len(got) != 3 || got[1] != PosAttr {
+		t.Fatalf("sequence aux catalog = %v", got)
+	}
+	if got := cat["game"]; got[0] != TIDAttr {
+		t.Fatalf("association catalog = %v", got)
+	}
+}
+
+// Queries over the NF² translation answer like the instance: count a
+// player's roles by unnesting.
+func TestAlgebraQueryOverTranslation(t *testing.T) {
+	in := footballInstance(t)
+	db, err := ToNF2(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := NF2Catalog(in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := algres.GroupE{
+		Input: algres.UnnestE{
+			Input: algres.Scan{Name: "player"},
+			Attr:  "roles",
+			As:    "role",
+		},
+		By:   []string{"name"},
+		Agg:  algres.AggCount,
+		Over: "role",
+		As:   "n",
+	}
+	opt := algres.Optimize(e, cat)
+	out, err := opt.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"rossi": 2, "verdi": 1}
+	for _, tup := range out.Tuples() {
+		n, _ := tup.Get("name")
+		c, _ := tup.Get("n")
+		if want[string(n.(value.Str))] != int64(c.(value.Int)) {
+			t.Fatalf("role count wrong: %v", tup)
+		}
+	}
+}
+
+// Property: the flat round trip is lossless for random instances over a
+// collection-heavy schema.
+func TestFlatRoundTripProperty(t *testing.T) {
+	m, err := parser.ParseModule(`
+classes ITEM = (tag: string, vals: {integer}, hist: [integer], seq: <integer>);
+associations LINKS = (src: ITEM, note: string);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, nObj uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := instance.New(m.Schema)
+		n := int(nObj%5) + 1
+		var oids []value.OID
+		for i := 0; i < n; i++ {
+			oid := in.NewOID()
+			oids = append(oids, oid)
+			var vals, hist, seq []value.Value
+			for j := 0; j < r.Intn(4); j++ {
+				vals = append(vals, value.Int(int64(r.Intn(5))))
+			}
+			for j := 0; j < r.Intn(4); j++ {
+				hist = append(hist, value.Int(int64(r.Intn(3))))
+			}
+			for j := 0; j < r.Intn(4); j++ {
+				seq = append(seq, value.Int(int64(r.Intn(9))))
+			}
+			in.AddToClass("item", oid, value.NewTuple(
+				value.Field{Label: "tag", Value: value.Str(string(rune('a' + i)))},
+				value.Field{Label: "vals", Value: value.NewSet(vals...)},
+				value.Field{Label: "hist", Value: value.NewMultiset(hist...)},
+				value.Field{Label: "seq", Value: value.NewSequence(seq...)},
+			))
+		}
+		for i := 0; i < r.Intn(4); i++ {
+			in.InsertTuple("links", value.NewTuple(
+				value.Field{Label: "src", Value: value.Ref(oids[r.Intn(len(oids))])},
+				value.Field{Label: "note", Value: value.Str("n")},
+			))
+		}
+		db, err := ToFlat(in)
+		if err != nil {
+			return false
+		}
+		back, err := FromFlat(db, m.Schema)
+		if err != nil {
+			return false
+		}
+		return back.Equal(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromNF2Errors(t *testing.T) {
+	in := footballInstance(t)
+	db, err := ToNF2(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the oid column.
+	players, _ := db.Get("player")
+	bad := algres.NewRelation(players.Attrs()...)
+	for _, tup := range players.Tuples() {
+		bad.Insert(tup.With(OIDAttr, value.Str("oops")))
+	}
+	db.Set("player", bad)
+	if _, err := FromNF2(db, in.Schema()); err == nil {
+		t.Fatal("corrupt oid column accepted")
+	}
+	_ = types.Canon
+}

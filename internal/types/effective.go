@@ -1,0 +1,196 @@
+package types
+
+import "fmt"
+
+// EffectiveTuple computes the flattened tuple type of a class or
+// association: whole-RHS name aliases (the paper's `IP = PAIR`) are
+// expanded, and components that embody a declared isa relationship (the
+// superclass reference in `STUDENT = (PERSON, SCHOOL); STUDENT isa PERSON`)
+// are spliced into the inherited attributes of the superclass. All other
+// components are kept verbatim: a class-typed component denotes object
+// sharing, a domain-typed component a complex value.
+func (s *Schema) EffectiveTuple(name string) (Tuple, error) {
+	name = Canon(name)
+	if s.effective == nil {
+		s.effective = map[string]Tuple{}
+	}
+	if t, ok := s.effective[name]; ok {
+		return t, nil
+	}
+	t, err := s.effectiveTuple(name, map[string]bool{})
+	if err != nil {
+		return Tuple{}, err
+	}
+	s.effective[name] = t
+	return t, nil
+}
+
+func (s *Schema) effectiveTuple(name string, visiting map[string]bool) (Tuple, error) {
+	if visiting[name] {
+		return Tuple{}, fmt.Errorf("types: recursive type equation through %q", name)
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+
+	d, ok := s.decls[name]
+	if !ok {
+		return Tuple{}, fmt.Errorf("types: undeclared name %q", name)
+	}
+	rhs := d.RHS
+	// Whole-RHS aliases: follow names until a structural type appears.
+	for {
+		n, isName := rhs.(Named)
+		if !isName {
+			break
+		}
+		target := Canon(n.Name)
+		td, ok := s.decls[target]
+		if !ok {
+			return Tuple{}, fmt.Errorf("types: %s %q aliases undeclared %q", d.Kind, name, target)
+		}
+		if td.Kind == DeclFunction {
+			return Tuple{}, fmt.Errorf("types: %s %q aliases function %q", d.Kind, name, target)
+		}
+		if td.Kind == DeclClass || td.Kind == DeclAssociation {
+			return s.effectiveTuple(target, visiting)
+		}
+		rhs = td.RHS // domain alias; keep unfolding
+	}
+	tup, ok := rhs.(Tuple)
+	if !ok {
+		return Tuple{}, fmt.Errorf("types: %s %q must have a tuple structure, got %s", d.Kind, name, rhs)
+	}
+
+	var out []Field
+	addField := func(f Field) error {
+		for _, prev := range out {
+			if prev.Label == f.Label {
+				if EqualType(prev.Type, f.Type) {
+					return nil // repeated inheritance of the same attribute
+				}
+				return fmt.Errorf("types: %s %q: label %q inherited/declared twice with different types (%s vs %s); rename one component",
+					d.Kind, name, f.Label, prev.Type, f.Type)
+			}
+		}
+		out = append(out, f)
+		return nil
+	}
+
+	for _, f := range tup.Fields {
+		if f.Label == "" {
+			return Tuple{}, fmt.Errorf("types: %s %q: component %s has no label", d.Kind, name, f.Type)
+		}
+		if n, isName := f.Type.(Named); isName {
+			super := Canon(n.Name)
+			if d.Kind == DeclClass && s.isInheritanceComponent(name, f.Label, super) {
+				inherited, err := s.effectiveTuple(super, visiting)
+				if err != nil {
+					return Tuple{}, err
+				}
+				for _, inf := range inherited.Fields {
+					if err := addField(inf); err != nil {
+						return Tuple{}, err
+					}
+				}
+				continue
+			}
+		}
+		if err := addField(f); err != nil {
+			return Tuple{}, err
+		}
+	}
+	return Tuple{Fields: out}, nil
+}
+
+// isInheritanceComponent reports whether the RHS component of sub with the
+// given label and class type super embodies a declared `sub [label] isa
+// super` edge.
+func (s *Schema) isInheritanceComponent(sub, label, super string) bool {
+	if !s.IsClass(super) {
+		return false
+	}
+	for _, e := range s.DirectSupers(sub) {
+		if e.Super != super {
+			continue
+		}
+		want := e.Label
+		if want == "" {
+			want = Canon(super)
+		}
+		if want == label {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpandDomains resolves domain names inside a type descriptor to their
+// structural definitions, leaving class references intact (a class-typed
+// position holds an oid at the instance level). Association names are
+// illegal inside component positions and reported as errors by Validate;
+// here they expand like domains so that diagnostics elsewhere stay sane.
+func (s *Schema) ExpandDomains(t Type) (Type, error) {
+	return s.expandDomains(t, map[string]bool{})
+}
+
+func (s *Schema) expandDomains(t Type, visiting map[string]bool) (Type, error) {
+	switch x := t.(type) {
+	case Elementary:
+		return x, nil
+	case Named:
+		name := Canon(x.Name)
+		d, ok := s.decls[name]
+		if !ok {
+			return nil, fmt.Errorf("types: undeclared name %q", name)
+		}
+		switch d.Kind {
+		case DeclClass:
+			return Named{Name: name}, nil // oid reference
+		case DeclFunction:
+			return nil, fmt.Errorf("types: function %q used as a type", name)
+		default:
+			if visiting[name] {
+				return nil, fmt.Errorf("types: recursive domain %q", name)
+			}
+			visiting[name] = true
+			defer delete(visiting, name)
+			if d.Kind == DeclAssociation {
+				eff, err := s.EffectiveTuple(name)
+				if err != nil {
+					return nil, err
+				}
+				return s.expandDomains(eff, visiting)
+			}
+			return s.expandDomains(d.RHS, visiting)
+		}
+	case Tuple:
+		fs := make([]Field, len(x.Fields))
+		for i, f := range x.Fields {
+			et, err := s.expandDomains(f.Type, visiting)
+			if err != nil {
+				return nil, err
+			}
+			fs[i] = Field{Label: f.Label, Type: et}
+		}
+		return Tuple{Fields: fs}, nil
+	case Set:
+		e, err := s.expandDomains(x.Elem, visiting)
+		if err != nil {
+			return nil, err
+		}
+		return Set{Elem: e}, nil
+	case Multiset:
+		e, err := s.expandDomains(x.Elem, visiting)
+		if err != nil {
+			return nil, err
+		}
+		return Multiset{Elem: e}, nil
+	case Sequence:
+		e, err := s.expandDomains(x.Elem, visiting)
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{Elem: e}, nil
+	}
+	return nil, fmt.Errorf("types: unknown type %T", t)
+}

@@ -1,0 +1,174 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logres/internal/value"
+)
+
+// Property-based tests of the refinement relation (Appendix A): it must
+// be a preorder — reflexive and transitive — on randomly generated type
+// descriptors, and tuple refinement must be antitone in the field set.
+
+// genType generates a random type descriptor of bounded depth.
+func genType(r *rand.Rand, depth int) Type {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Int
+		case 1:
+			return String
+		case 2:
+			return Real
+		default:
+			return Bool
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		n := 1 + r.Intn(3)
+		fields := make([]Field, n)
+		for i := range fields {
+			fields[i] = Field{
+				Label: string(rune('a' + i)),
+				Type:  genType(r, depth-1),
+			}
+		}
+		return Tuple{Fields: fields}
+	case 1:
+		return Set{Elem: genType(r, depth-1)}
+	case 2:
+		return Multiset{Elem: genType(r, depth-1)}
+	case 3:
+		return Sequence{Elem: genType(r, depth-1)}
+	default:
+		return genType(r, 0)
+	}
+}
+
+func TestRefinesReflexiveProperty(t *testing.T) {
+	s := NewSchema()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := genType(r, 3)
+		return s.Refines(ty, ty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// widen produces a refinement of ty by adding tuple fields (rule 4) —
+// so ty' ≤ ty must hold.
+func widen(r *rand.Rand, ty Type) Type {
+	switch x := ty.(type) {
+	case Tuple:
+		extra := Field{Label: "zz", Type: Int}
+		return Tuple{Fields: append(append([]Field{}, x.Fields...), extra)}
+	case Set:
+		return Set{Elem: widen(r, x.Elem)}
+	case Multiset:
+		return Multiset{Elem: widen(r, x.Elem)}
+	case Sequence:
+		return Sequence{Elem: widen(r, x.Elem)}
+	}
+	return ty
+}
+
+func TestWidenedTupleRefinesProperty(t *testing.T) {
+	s := NewSchema()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := genType(r, 3)
+		wider := widen(r, ty)
+		return s.Refines(wider, ty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefinesTransitiveProperty(t *testing.T) {
+	s := NewSchema()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := genType(r, 2)
+		b := widen(r, c) // b ≤ c
+		a := widen(r, b) // a ≤ b
+		// Transitivity: a ≤ c.
+		if !s.Refines(a, b) || !s.Refines(b, c) {
+			return true // premise failed (e.g. no tuples to widen)
+		}
+		return s.Refines(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNarrowTupleDoesNotRefineProperty(t *testing.T) {
+	s := NewSchema()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := genType(r, 2)
+		tup, ok := base.(Tuple)
+		if !ok || len(tup.Fields) < 2 {
+			return true
+		}
+		narrow := Tuple{Fields: tup.Fields[:len(tup.Fields)-1]}
+		// Dropping a field: narrow must NOT refine the full tuple.
+		return !s.Refines(narrow, tup)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckValueNeverPanicsOnRandomTypes(t *testing.T) {
+	s := NewSchema()
+	_ = s.AddClass("c", Tuple{Fields: []Field{{Label: "v", Type: Int}}})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := genType(r, 3)
+		// Checking an arbitrary value against an arbitrary type must not
+		// panic (errors are fine).
+		_ = s.CheckValue(ty, randomValue(r, 2), NilAllowed)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomValue builds a random value of bounded depth.
+func randomValue(r *rand.Rand, depth int) value.Value {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return value.Int(int64(r.Intn(100)))
+		case 1:
+			return value.Str("s")
+		case 2:
+			return value.Real(1.5)
+		case 3:
+			return value.Bool(true)
+		default:
+			return value.Ref(value.OID(r.Intn(5)))
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return value.NewTuple(
+			value.Field{Label: "a", Value: randomValue(r, depth-1)},
+			value.Field{Label: "b", Value: randomValue(r, depth-1)},
+		)
+	case 1:
+		return value.NewSet(randomValue(r, depth-1), randomValue(r, depth-1))
+	case 2:
+		return value.NewMultiset(randomValue(r, depth-1))
+	default:
+		return value.NewSequence(randomValue(r, depth-1))
+	}
+}

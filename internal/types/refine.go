@@ -1,0 +1,127 @@
+package types
+
+// Refinement — Appendix A of the paper.
+//
+// A type τ1 is a refinement of τ2 (τ1 ≤ τ2) iff one of:
+//
+//  1. τ1 ∈ D ∪ C ∪ {elementary} and τ1 = τ2;
+//  2. τ1 ∈ D ∪ C and Σ(τ1) ≤ τ2;
+//  3. τ1, τ2 ∈ C and Σ(τ1) ≤ Σ(τ2);
+//  4. tuple rule: τ2's labels are a subset of τ1's, componentwise refining;
+//  5–7. set/multiset/sequence rules: elementwise refining.
+//
+// For classes Σ is taken as the *effective* tuple (inheritance spliced), so
+// that `STUDENT = (PERSON, SCHOOL); STUDENT isa PERSON` satisfies
+// STUDENT ≤ PERSON as the paper intends. Recursive class references are
+// handled coinductively: a revisited pair is assumed to refine.
+
+// Refines reports whether τ1 ≤ τ2 under schema s.
+func (s *Schema) Refines(t1, t2 Type) bool {
+	return s.refines(t1, t2, map[[2]string]bool{})
+}
+
+// Compatible reports whether two types unify, i.e. one refines the other
+// (§3.1: "two types are compatible if one is obtained as a refinement of
+// the other one").
+func (s *Schema) Compatible(t1, t2 Type) bool {
+	return s.Refines(t1, t2) || s.Refines(t2, t1)
+}
+
+func (s *Schema) refines(t1, t2 Type, visiting map[[2]string]bool) bool {
+	// Rule 1: identical elementary or identical names.
+	switch x := t1.(type) {
+	case Elementary:
+		if y, ok := t2.(Elementary); ok {
+			if x.K == y.K {
+				return true
+			}
+			// Integers refine reals (numeric widening, in the spirit of the
+			// paper's "other elementary types may be added").
+			if x.K == KindInt && y.K == KindReal {
+				return true
+			}
+		}
+	case Named:
+		if y, ok := t2.(Named); ok && Canon(x.Name) == Canon(y.Name) {
+			return true
+		}
+	}
+
+	// Rules 2 and 3: unfold named LHS; for class-class pairs compare
+	// effective tuples.
+	if n1, ok := t1.(Named); ok {
+		name1 := Canon(n1.Name)
+		d1, declared := s.decls[name1]
+		if !declared {
+			return false
+		}
+		if n2, ok2 := t2.(Named); ok2 {
+			name2 := Canon(n2.Name)
+			d2, declared2 := s.decls[name2]
+			if declared2 && d1.Kind == DeclClass && d2.Kind == DeclClass {
+				key := [2]string{name1, name2}
+				if visiting[key] {
+					return true // coinductive assumption
+				}
+				visiting[key] = true
+				defer delete(visiting, key)
+				e1, err1 := s.EffectiveTuple(name1)
+				e2, err2 := s.EffectiveTuple(name2)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				return s.refines(e1, e2, visiting)
+			}
+		}
+		// Rule 2: Σ(τ1) ≤ τ2.
+		var unfolded Type
+		switch d1.Kind {
+		case DeclClass, DeclAssociation:
+			eff, err := s.EffectiveTuple(name1)
+			if err != nil {
+				return false
+			}
+			unfolded = eff
+		case DeclDomain:
+			unfolded = d1.RHS
+		default:
+			return false
+		}
+		key := [2]string{name1, t2.String()}
+		if visiting[key] {
+			return true
+		}
+		visiting[key] = true
+		defer delete(visiting, key)
+		return s.refines(unfolded, t2, visiting)
+	}
+
+	// Structural rules 4–7.
+	switch x := t1.(type) {
+	case Tuple:
+		y, ok := t2.(Tuple)
+		if !ok {
+			return false
+		}
+		if len(y.Fields) > len(x.Fields) {
+			return false
+		}
+		for _, fy := range y.Fields {
+			fx, found := x.Get(fy.Label)
+			if !found || !s.refines(fx.Type, fy.Type, visiting) {
+				return false
+			}
+		}
+		return true
+	case Set:
+		y, ok := t2.(Set)
+		return ok && s.refines(x.Elem, y.Elem, visiting)
+	case Multiset:
+		y, ok := t2.(Multiset)
+		return ok && s.refines(x.Elem, y.Elem, visiting)
+	case Sequence:
+		y, ok := t2.(Sequence)
+		return ok && s.refines(x.Elem, y.Elem, visiting)
+	}
+	return false
+}

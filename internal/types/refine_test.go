@@ -1,0 +1,203 @@
+package types
+
+import (
+	"testing"
+
+	"logres/internal/value"
+)
+
+func TestRefinesElementary(t *testing.T) {
+	s := NewSchema()
+	if !s.Refines(Int, Int) || !s.Refines(String, String) {
+		t.Fatal("rule 1 fails on elementary types")
+	}
+	if s.Refines(Int, String) {
+		t.Fatal("integer refines string")
+	}
+	if !s.Refines(Int, Real) {
+		t.Fatal("integer should refine real (numeric widening)")
+	}
+	if s.Refines(Real, Int) {
+		t.Fatal("real refines integer")
+	}
+}
+
+func TestRefinesDomainUnfolding(t *testing.T) {
+	s := NewSchema()
+	_ = s.AddDomain("NAME", String)
+	_ = s.AddDomain("ROLE", Int)
+	if !s.Refines(Named{"NAME"}, String) {
+		t.Fatal("rule 2: NAME ≤ string fails")
+	}
+	if s.Refines(Named{"NAME"}, Named{"ROLE"}) {
+		t.Fatal("NAME refines ROLE")
+	}
+	if !s.Compatible(Named{"NAME"}, String) || !s.Compatible(String, Named{"NAME"}) {
+		t.Fatal("compatibility must be symmetric-closed")
+	}
+	if s.Compatible(Named{"NAME"}, Named{"ROLE"}) {
+		t.Fatal("distinct domains compatible")
+	}
+}
+
+func TestRefinesClassHierarchy(t *testing.T) {
+	s := universitySchema(t)
+	if !s.Refines(Named{"STUDENT"}, Named{"PERSON"}) {
+		t.Fatal("STUDENT ≤ PERSON fails")
+	}
+	if s.Refines(Named{"PERSON"}, Named{"STUDENT"}) {
+		t.Fatal("PERSON ≤ STUDENT holds")
+	}
+	if !s.Compatible(Named{"PERSON"}, Named{"STUDENT"}) {
+		t.Fatal("person/student not compatible")
+	}
+	if s.Refines(Named{"STUDENT"}, Named{"SCHOOL"}) {
+		t.Fatal("unrelated classes refine")
+	}
+}
+
+func TestRefinesTupleRule(t *testing.T) {
+	s := NewSchema()
+	wide := Tuple{Fields: []Field{{"a", Int}, {"b", String}, {"c", Int}}}
+	narrow := Tuple{Fields: []Field{{"b", String}, {"a", Int}}}
+	if !s.Refines(wide, narrow) {
+		t.Fatal("rule 4: wide tuple should refine narrow tuple")
+	}
+	if s.Refines(narrow, wide) {
+		t.Fatal("narrow tuple refines wide")
+	}
+	mismatch := Tuple{Fields: []Field{{"a", String}}}
+	if s.Refines(wide, mismatch) {
+		t.Fatal("component type mismatch ignored")
+	}
+}
+
+func TestRefinesConstructors(t *testing.T) {
+	s := NewSchema()
+	if !s.Refines(Set{Int}, Set{Int}) || s.Refines(Set{Int}, Set{String}) {
+		t.Fatal("set rule wrong")
+	}
+	if !s.Refines(Multiset{Int}, Multiset{Real}) {
+		t.Fatal("multiset elementwise refinement fails")
+	}
+	if !s.Refines(Sequence{Int}, Sequence{Int}) {
+		t.Fatal("sequence rule wrong")
+	}
+	if s.Refines(Set{Int}, Multiset{Int}) || s.Refines(Multiset{Int}, Sequence{Int}) {
+		t.Fatal("different constructors must not refine")
+	}
+}
+
+func TestRefinesRecursiveClassesTerminates(t *testing.T) {
+	// PROFESSOR and SCHOOL reference each other; Refines must terminate.
+	s := universitySchema(t)
+	_ = s.Refines(Named{"PROFESSOR"}, Named{"SCHOOL"})
+	_ = s.Refines(Named{"SCHOOL"}, Named{"SCHOOL"})
+	// Mutually recursive identical structure: coinductive acceptance.
+	r := NewSchema()
+	_ = r.AddClass("X", Tuple{Fields: []Field{{"next", Named{"Y"}}}})
+	_ = r.AddClass("Y", Tuple{Fields: []Field{{"next", Named{"X"}}}})
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Refines(Named{"X"}, Named{"X"}) {
+		t.Fatal("reflexivity fails on recursive class")
+	}
+}
+
+func TestCheckValueElementaryAndDomains(t *testing.T) {
+	s := footballSchema(t)
+	if err := s.CheckValue(Named{"NAME"}, value.Str("milan"), NilAllowed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckValue(Named{"NAME"}, value.Int(3), NilAllowed); err == nil {
+		t.Fatal("int accepted for NAME")
+	}
+	score := value.NewTuple(
+		value.Field{Label: "home", Value: value.Int(2)},
+		value.Field{Label: "guest", Value: value.Int(1)},
+	)
+	if err := s.CheckValue(Named{"SCORE"}, score, NilAllowed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckValue(Real, value.Int(3), NilAllowed); err != nil {
+		t.Fatal("int must be accepted for real position")
+	}
+}
+
+func TestCheckValueClassReferences(t *testing.T) {
+	s := universitySchema(t)
+	// dean is a class-typed position: oid required.
+	if err := s.CheckValue(Named{"PROFESSOR"}, value.Ref(5), NilAllowed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckValue(Named{"PROFESSOR"}, value.Ref(value.NilOID), NilAllowed); err != nil {
+		t.Fatal("nil oid must be legal under NilAllowed")
+	}
+	if err := s.CheckValue(Named{"PROFESSOR"}, value.Ref(value.NilOID), NilForbidden); err == nil {
+		t.Fatal("nil oid accepted under NilForbidden")
+	}
+	if err := s.CheckValue(Named{"PROFESSOR"}, value.Str("x"), NilAllowed); err == nil {
+		t.Fatal("string accepted in class position")
+	}
+}
+
+func TestCheckValueCollections(t *testing.T) {
+	s := footballSchema(t)
+	roles := value.NewSet(value.Int(1), value.Int(2))
+	if err := s.CheckValue(Set{Named{"ROLE"}}, roles, NilAllowed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckValue(Set{Named{"ROLE"}}, value.NewSet(value.Str("x")), NilAllowed); err == nil {
+		t.Fatal("wrong element type accepted")
+	}
+	players := value.NewSequence(value.Ref(1), value.Ref(2))
+	if err := s.CheckValue(Sequence{Named{"PLAYER"}}, players, NilAllowed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckValue(Sequence{Named{"PLAYER"}}, value.NewSet(value.Ref(1)), NilAllowed); err == nil {
+		t.Fatal("set accepted for sequence")
+	}
+	if err := s.CheckValue(Multiset{Int}, value.NewMultiset(value.Int(1), value.Int(1)), NilAllowed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckValueMissingTupleComponent(t *testing.T) {
+	s := footballSchema(t)
+	bad := value.NewTuple(value.Field{Label: "home", Value: value.Int(2)})
+	if err := s.CheckValue(Named{"SCORE"}, bad, NilAllowed); err == nil {
+		t.Fatal("missing component accepted")
+	}
+}
+
+func TestEqualType(t *testing.T) {
+	a := Tuple{Fields: []Field{{"x", Int}, {"y", Set{String}}}}
+	b := Tuple{Fields: []Field{{"x", Int}, {"y", Set{String}}}}
+	c := Tuple{Fields: []Field{{"x", Int}, {"y", Set{Int}}}}
+	if !EqualType(a, b) || EqualType(a, c) {
+		t.Fatal("EqualType wrong on tuples")
+	}
+	if !EqualType(nil, nil) || EqualType(nil, Int) {
+		t.Fatal("EqualType nil handling wrong")
+	}
+	if EqualType(Set{Int}, Multiset{Int}) {
+		t.Fatal("different constructors equal")
+	}
+	if !EqualType(Named{"a"}, Named{"a"}) || EqualType(Named{"a"}, Named{"b"}) {
+		t.Fatal("EqualType wrong on named")
+	}
+}
+
+func TestTypeStringRendering(t *testing.T) {
+	tt := Tuple{Fields: []Field{{"a", Int}, {"b", Set{Named{"role"}}}}}
+	if got := tt.String(); got != "(a: integer, b: {role})" {
+		t.Fatalf("tuple type string = %q", got)
+	}
+	if got := (Sequence{Named{"player"}}).String(); got != "<player>" {
+		t.Fatalf("sequence type string = %q", got)
+	}
+	if got := (Multiset{Int}).String(); got != "[integer]" {
+		t.Fatalf("multiset type string = %q", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package types implements the static structure of a LOGRES database:
+// type descriptors, type equations, the schema function Σ together with the
+// isa hierarchy, the refinement relation τ1 ≤ τ2 of Appendix A, and the
+// structural validation rules of §2 of the paper (domains may not contain
+// classes, associations may not contain associations, multiple inheritance
+// requires a common ancestor, …).
+package types
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the shape of a type descriptor.
+type Kind int
+
+// The kinds of LOGRES type descriptors (Definition 1 of the paper, plus the
+// extra elementary types real and boolean that the paper explicitly allows).
+const (
+	KindInt Kind = iota
+	KindReal
+	KindString
+	KindBool
+	KindNamed // reference to a domain, class, or association name
+	KindTuple
+	KindSet
+	KindMultiset
+	KindSequence
+)
+
+var kindNames = [...]string{
+	KindInt:      "integer",
+	KindReal:     "real",
+	KindString:   "string",
+	KindBool:     "boolean",
+	KindNamed:    "named",
+	KindTuple:    "tuple",
+	KindSet:      "set",
+	KindMultiset: "multiset",
+	KindSequence: "sequence",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Type is a LOGRES type descriptor.
+type Type interface {
+	Kind() Kind
+	String() string
+}
+
+// Elementary is one of the built-in elementary types.
+type Elementary struct{ K Kind }
+
+// Named refers to another schema name (domain, class, or, in association
+// positions, a class).
+type Named struct{ Name string }
+
+// Field is one labelled component of a tuple type. When a type appears in a
+// RHS without an explicit label, the parser labels it with the (lower-cased)
+// type name — the paper's convention that names in a RHS must be unique
+// unless distinguished by labels.
+type Field struct {
+	Label string
+	Type  Type
+}
+
+// Tuple is the tuple (record) constructor.
+type Tuple struct{ Fields []Field }
+
+// Set is the set constructor { }.
+type Set struct{ Elem Type }
+
+// Multiset is the multiset constructor [ ].
+type Multiset struct{ Elem Type }
+
+// Sequence is the sequence constructor < >.
+type Sequence struct{ Elem Type }
+
+// Convenience singletons.
+var (
+	Int    = Elementary{KindInt}
+	Real   = Elementary{KindReal}
+	String = Elementary{KindString}
+	Bool   = Elementary{KindBool}
+)
+
+func (e Elementary) Kind() Kind { return e.K }
+func (Named) Kind() Kind        { return KindNamed }
+func (Tuple) Kind() Kind        { return KindTuple }
+func (Set) Kind() Kind          { return KindSet }
+func (Multiset) Kind() Kind     { return KindMultiset }
+func (Sequence) Kind() Kind     { return KindSequence }
+
+func (e Elementary) String() string { return e.K.String() }
+func (n Named) String() string      { return n.Name }
+
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range t.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if f.Label != "" {
+			b.WriteString(f.Label)
+			b.WriteString(": ")
+		}
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (s Set) String() string      { return "{" + s.Elem.String() + "}" }
+func (m Multiset) String() string { return "[" + m.Elem.String() + "]" }
+func (q Sequence) String() string { return "<" + q.Elem.String() + ">" }
+
+// Get returns the field with the given label.
+func (t Tuple) Get(label string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Label == label {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// EqualType reports structural equality of two type descriptors.
+func EqualType(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case Elementary:
+		return x.K == b.(Elementary).K
+	case Named:
+		return x.Name == b.(Named).Name
+	case Tuple:
+		y := b.(Tuple)
+		if len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		for i := range x.Fields {
+			if x.Fields[i].Label != y.Fields[i].Label || !EqualType(x.Fields[i].Type, y.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case Set:
+		return EqualType(x.Elem, b.(Set).Elem)
+	case Multiset:
+		return EqualType(x.Elem, b.(Multiset).Elem)
+	case Sequence:
+		return EqualType(x.Elem, b.(Sequence).Elem)
+	}
+	return false
+}

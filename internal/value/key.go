@@ -1,0 +1,102 @@
+package value
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Canonical keys.
+//
+// Key returns a string encoding with two properties the engine relies on:
+//
+//  1. injectivity — two values have the same key iff they are structurally
+//     equal;
+//  2. order preservation within a kind — for elementary values, the
+//     byte-wise order of keys matches value order, so sets (which sort by
+//     key) iterate in natural order.
+//
+// The encoding starts with a one-byte kind tag so different kinds never
+// collide, followed by an order-preserving payload. Composite payloads use
+// length-prefixed child keys.
+
+const (
+	tagInt      = 'i'
+	tagReal     = 'r'
+	tagString   = 's'
+	tagBool     = 'b'
+	tagOID      = 'o'
+	tagNull     = 'n'
+	tagTuple    = 't'
+	tagSet      = 'S'
+	tagMultiset = 'M'
+	tagSequence = 'Q'
+)
+
+// orderedInt64 encodes an int64 as 8 big-endian bytes with the sign bit
+// flipped, so that unsigned byte order equals signed integer order.
+func orderedInt64(x int64) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(x)^(1<<63))
+	return string(buf[:])
+}
+
+// orderedFloat64 encodes a float64 preserving order: positive floats flip
+// the sign bit, negative floats flip all bits.
+func orderedFloat64(f float64) string {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return string(buf[:])
+}
+
+func (v Int) Key() string  { return string(tagInt) + orderedInt64(int64(v)) }
+func (v Real) Key() string { return string(tagReal) + orderedFloat64(float64(v)) }
+func (v Str) Key() string  { return string(tagString) + string(v) }
+func (v Bool) Key() string {
+	if v {
+		return string(tagBool) + "1"
+	}
+	return string(tagBool) + "0"
+}
+func (v Ref) Key() string { return string(tagOID) + orderedInt64(int64(v)) }
+func (Null) Key() string  { return string(tagNull) }
+
+func compositeKey(tag byte, parts []string) string {
+	var b strings.Builder
+	b.WriteByte(tag)
+	b.WriteString(strconv.Itoa(len(parts)))
+	for _, p := range parts {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+func (t Tuple) Key() string {
+	parts := make([]string, 0, 2*len(t.fields))
+	for _, f := range t.fields {
+		parts = append(parts, f.Label, f.Value.Key())
+	}
+	return compositeKey(tagTuple, parts)
+}
+
+func elemsKey(tag byte, elems []Value) string {
+	parts := make([]string, len(elems))
+	for i, e := range elems {
+		parts[i] = e.Key()
+	}
+	return compositeKey(tag, parts)
+}
+
+func (s Set) Key() string      { return elemsKey(tagSet, s.elems) }
+func (m Multiset) Key() string { return elemsKey(tagMultiset, m.elems) }
+func (q Sequence) Key() string { return elemsKey(tagSequence, q.elems) }

@@ -1,0 +1,340 @@
+// Package logres is a from-scratch implementation of LOGRES (Cacace,
+// Ceri, Crespi-Reghizzi, Tanca, Zicari — SIGMOD 1990): a deductive
+// object-oriented database integrating an object-oriented data model
+// (classes, oids, generalization hierarchies, object sharing, NF²
+// associations, generalized type constructors) with a typed, rule-based
+// language under the deterministic inflationary semantics, organized
+// around modules with six application modes.
+//
+// The core workflow:
+//
+//	db, err := logres.Open(schemaSrc)        // type equations + isa
+//	res, err := db.Exec(moduleSrc)           // apply a module (mode-aware)
+//	ans, err := db.Query(`?- person(name: X).`)
+//
+// Schema, modules, rules and goals use the concrete syntax documented in
+// the repository README, which covers every construct of the paper.
+package logres
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"logres/internal/ast"
+	"logres/internal/engine"
+	"logres/internal/module"
+	"logres/internal/parser"
+	"logres/internal/storage"
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+// Mode is a module application mode (§4.1 of the paper).
+type Mode = ast.Mode
+
+// The six application modes: Rule Invariant/Addition/Deletion × Data
+// Invariant/Variant.
+const (
+	RIDI = ast.RIDI
+	RADI = ast.RADI
+	RDDI = ast.RDDI
+	RIDV = ast.RIDV
+	RADV = ast.RADV
+	RDDV = ast.RDDV
+)
+
+// Module is a parsed LOGRES module: type equations, rules and an optional
+// goal, with an optional declared default mode.
+type Module = ast.Module
+
+// Answer is a goal's result: variable names and deduplicated rows.
+type Answer = engine.Answer
+
+// Value is a LOGRES runtime value (integers, reals, strings, booleans,
+// object references, tuples, sets, multisets, sequences).
+type Value = value.Value
+
+// Fact is one ground fact of the database instance.
+type Fact = engine.Fact
+
+// Option configures a Database.
+type Option func(*Database)
+
+// WithMaxSteps bounds the number of one-step applications per fixpoint
+// (the inflationary semantics does not guarantee termination).
+func WithMaxSteps(n int) Option {
+	return func(db *Database) { db.opts.MaxSteps = n }
+}
+
+// WithSemiNaive toggles the semi-naive optimization (default on).
+func WithSemiNaive(on bool) Option {
+	return func(db *Database) { db.opts.SemiNaive = on }
+}
+
+// WithStratification toggles perfect-model (stratified) evaluation
+// (default on); when off, programs evaluate as a single inflationary
+// block.
+func WithStratification(on bool) Option {
+	return func(db *Database) { db.opts.Stratify = on }
+}
+
+// WithNonInflationary selects the non-inflationary rule semantics for the
+// whole database (modules may also opt in individually with a
+// `semantics noninflationary.` declaration): derived facts persist only
+// while re-derivable; undefined (an error) when no fixpoint is reached.
+func WithNonInflationary(on bool) Option {
+	return func(db *Database) { db.opts.NonInflationary = on }
+}
+
+// Database is a LOGRES database: a state (E, R, S) evolved by module
+// applications. All methods are safe for concurrent use; module
+// applications serialize.
+type Database struct {
+	mu   sync.Mutex
+	st   *module.State
+	opts engine.Options
+}
+
+// Open creates a database over the schema declared in src (domains /
+// classes / associations / functions sections; rules and goals are not
+// allowed here — apply them as modules).
+func Open(src string, options ...Option) (*Database, error) {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Rules) > 0 || len(m.Goal) > 0 {
+		return nil, fmt.Errorf("logres: Open takes only schema sections; apply rules via Exec")
+	}
+	if err := m.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	db := &Database{st: module.NewState(m.Schema), opts: engine.DefaultOptions()}
+	for _, o := range options {
+		o(db)
+	}
+	return db, nil
+}
+
+// ParseModule parses a module without applying it.
+func ParseModule(src string) (*Module, error) {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Result is the outcome of a module application.
+type Result struct {
+	// Answer holds the goal bindings for data-invariant modes with a
+	// goal; nil otherwise.
+	Answer *Answer
+	// Mode is the mode the module was applied with.
+	Mode Mode
+}
+
+// Exec parses and applies a module with its declared mode (RIDI when none
+// is declared). On success the database state advances; on rejection
+// (inconsistent result, §4.1) the state is unchanged and the error
+// describes the violation.
+func (db *Database) Exec(src string) (*Result, error) {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Apply(m, m.Mode)
+}
+
+// Apply applies a parsed module with an explicit mode.
+func (db *Database) Apply(m *Module, mode Mode) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := module.Apply(db.st, m, mode, db.opts)
+	if err != nil {
+		return nil, err
+	}
+	db.st = res.State
+	return &Result{Answer: res.Answer, Mode: mode}, nil
+}
+
+// Query evaluates a goal (`?- lit, … .`) against the current instance —
+// sugar for a RIDI module containing only the goal.
+func (db *Database) Query(goalSrc string) (*Answer, error) {
+	goal, err := parser.ParseGoal(goalSrc)
+	if err != nil {
+		return nil, err
+	}
+	m := &ast.Module{Schema: types.NewSchema(), Goal: goal}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := module.Apply(db.st, m, ast.RIDI, db.opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Answer, nil
+}
+
+// Instance computes the current database instance I (the persistent rules
+// applied to E) and returns its facts.
+func (db *Database) Instance() ([]Fact, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, _, err := db.st.Instance(db.opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fact
+	for _, p := range f.Preds() {
+		out = append(out, f.Facts(p)...)
+	}
+	return out, nil
+}
+
+// InstanceString renders the current instance deterministically.
+func (db *Database) InstanceString() (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, _, err := db.st.Instance(db.opts)
+	if err != nil {
+		return "", err
+	}
+	return engine.ToInstance(f, db.st.S, db.st.Counter).String(), nil
+}
+
+// Count reports the number of facts of a predicate in the current
+// instance (derived facts included).
+func (db *Database) Count(pred string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, _, err := db.st.Instance(db.opts)
+	if err != nil {
+		return 0, err
+	}
+	return f.Size(types.Canon(pred)), nil
+}
+
+// EDBCount reports the number of extensional facts of a predicate.
+func (db *Database) EDBCount(pred string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.st.E.Size(types.Canon(pred))
+}
+
+// RuleCount reports the number of persistent rules.
+func (db *Database) RuleCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.st.R)
+}
+
+// Materialize makes E coincide with the current instance and clears the
+// persistent rules (§4.2, "materializing the instance").
+func (db *Database) Materialize() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, err := module.Materialize(db.st, db.opts)
+	if err != nil {
+		return err
+	}
+	db.st = st
+	return nil
+}
+
+// CheckConsistency verifies Definition 4 and the passive constraints
+// against the current instance.
+func (db *Database) CheckConsistency() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, _, err := db.st.Instance(db.opts)
+	return err
+}
+
+// Save writes a snapshot of the database state.
+func (db *Database) Save(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return storage.SaveState(w, db.st)
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader, options ...Option) (*Database, error) {
+	st, err := storage.LoadState(r)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{st: st, opts: engine.DefaultOptions()}
+	for _, o := range options {
+		o(db)
+	}
+	return db, nil
+}
+
+// Schema renders the current schema in LOGRES syntax.
+func (db *Database) Schema() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.st.S.String()
+}
+
+// Register parses a named module and stores it in the database's module
+// library without applying it — the paper's §5 "methods and
+// encapsulation" direction: a stored module is an encapsulated query or
+// update procedure invoked with Call. Snapshots persist the library.
+func (db *Database) Register(src string) error {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.st.Lib == nil {
+		db.st.Lib = module.NewLibrary()
+	}
+	return db.st.Lib.Register(m)
+}
+
+// Call applies a registered module by name with its declared mode.
+func (db *Database) Call(name string) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.st.Lib == nil {
+		db.st.Lib = module.NewLibrary()
+	}
+	res, err := db.st.Lib.Call(db.st, name, db.opts)
+	if err != nil {
+		return nil, err
+	}
+	m, _ := db.st.Lib.Get(name)
+	db.st = res.State
+	return &Result{Answer: res.Answer, Mode: m.Mode}, nil
+}
+
+// Modules lists the registered module names.
+func (db *Database) Modules() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.st.Lib == nil {
+		return nil
+	}
+	return db.st.Lib.Names()
+}
+
+// Explain compiles the persistent rules, evaluates the current instance,
+// and renders the program structure (strata, generated constraints,
+// invention) together with the run's statistics — the §5 "design,
+// debugging, and monitoring" tooling.
+func (db *Database) Explain() (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	prog, err := engine.Compile(db.st.S, db.st.R, db.opts)
+	if err != nil {
+		return "", err
+	}
+	counter := db.st.Counter
+	if _, err := prog.Run(db.st.E, &counter); err != nil {
+		return "", err
+	}
+	return prog.Explain(), nil
+}
