@@ -1,7 +1,7 @@
 package logres
 
 // The benchmark harness: one testing.B family per experiment of
-// EXPERIMENTS.md (E1–E11). The same workloads back cmd/logres-bench,
+// EXPERIMENTS.md (E1–E12). The same workloads back cmd/logres-bench,
 // which prints the result tables. Run with:
 //
 //	go test -bench=. -benchmem
@@ -328,6 +328,30 @@ func BenchmarkE11_Semantics(b *testing.B) {
 					b.Fatal(err)
 				}
 				if got != 32*33/2 {
+					b.Fatalf("tc = %d", got)
+				}
+			}
+		})
+	}
+}
+
+// E12 — parallel semi-naive scaling: the same chain closure at several
+// worker counts (results are bit-identical; only wall-clock differs).
+func BenchmarkE12_ParallelClosure(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s, err := bench.NewLogresTC(bench.Chain(128), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Program.SetWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != 128*129/2 {
 					b.Fatalf("tc = %d", got)
 				}
 			}

@@ -39,7 +39,7 @@ func main() {
 	experiments := []experiment{
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
-		{"E9", runE9}, {"E10", runE10}, {"E11", runE11},
+		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -64,7 +64,7 @@ func sizes(quick bool, full, small []int) []int {
 func runE1(quick bool) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:   "E1 — transitive closure (chain graphs)",
-		Columns: []string{"n", "edges", "derived", "logres-naive", "logres-semi", "algres-naive", "algres-semi", "datalog-semi"},
+		Columns: []string{"n", "edges", "derived", "logres-naive", "logres-semi", "logres-par4", "algres-naive", "algres-semi", "datalog-semi"},
 	}
 	for _, n := range sizes(quick, []int{32, 64, 128}, []int{16, 32}) {
 		edges := bench.Chain(n)
@@ -83,6 +83,15 @@ func runE1(quick bool) (*bench.Table, error) {
 			return nil, err
 		}
 		dSemi, err := bench.Timed(func() error { _, err := ls.Run(); return err })
+		if err != nil {
+			return nil, err
+		}
+		lp, err := bench.NewLogresTC(edges, true)
+		if err != nil {
+			return nil, err
+		}
+		lp.Program.SetWorkers(4)
+		dPar, err := bench.Timed(func() error { _, err := lp.Run(); return err })
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +119,7 @@ func runE1(quick bool) (*bench.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, len(edges), derived, dNaive, dSemi, dAN, dAS, dDL)
+		t.AddRow(n, len(edges), derived, dNaive, dSemi, dPar, dAN, dAS, dDL)
 	}
 	return t, nil
 }
@@ -118,7 +127,7 @@ func runE1(quick bool) (*bench.Table, error) {
 func runE2(quick bool) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:   "E2 — same generation (balanced binary trees)",
-		Columns: []string{"depth", "nodes", "sg-pairs", "logres-semi", "datalog-semi"},
+		Columns: []string{"depth", "nodes", "sg-pairs", "logres-semi", "logres-par4", "datalog-semi"},
 	}
 	for _, depth := range sizes(quick, []int{3, 4, 5}, []int{2, 3}) {
 		edges := bench.Tree(2, depth)
@@ -135,6 +144,15 @@ func runE2(quick bool) (*bench.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp, err := bench.NewLogresSG(edges, true)
+		if err != nil {
+			return nil, err
+		}
+		sp.Program.SetWorkers(4)
+		dPar, err := bench.Timed(func() error { _, err := sp.RunSG(); return err })
+		if err != nil {
+			return nil, err
+		}
 		// Flat baseline via datalog's same-generation is exercised in its
 		// package tests; here we reuse the closure engine as proxy cost.
 		dl, err := bench.NewDatalogTC(edges, true)
@@ -145,7 +163,7 @@ func runE2(quick bool) (*bench.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(depth, len(edges)+1, pairs, d, dDL)
+		t.AddRow(depth, len(edges)+1, pairs, d, dPar, dDL)
 	}
 	return t, nil
 }
@@ -328,12 +346,16 @@ func runE9(quick bool) (*bench.Table, error) {
 func runE10(quick bool) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:   "E10 — ALGRES operator microbenchmarks",
-		Columns: []string{"n", "join", "nest+unnest"},
+		Columns: []string{"n", "join", "join-par4", "nest+unnest"},
 	}
 	for _, n := range sizes(quick, []int{1000, 10000}, []int{200, 1000}) {
 		a := bench.NewAlgebraOps(n)
-		var dJoin, dNest time.Duration
+		var dJoin, dJoinPar, dNest time.Duration
 		dJoin, err := bench.Timed(func() error { a.Join(); return nil })
+		if err != nil {
+			return nil, err
+		}
+		dJoinPar, err = bench.Timed(func() error { a.JoinWorkers(4); return nil })
 		if err != nil {
 			return nil, err
 		}
@@ -341,7 +363,39 @@ func runE10(quick bool) (*bench.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, dJoin, dNest)
+		t.AddRow(n, dJoin, dJoinPar, dNest)
+	}
+	return t, nil
+}
+
+func runE12(quick bool) (*bench.Table, error) {
+	t := &bench.Table{
+		Title:   "E12 — parallel semi-naive scaling (chain closure)",
+		Columns: []string{"n", "workers", "derived", "time", "speedup"},
+	}
+	for _, n := range sizes(quick, []int{1024, 4096}, []int{128, 256}) {
+		edges := bench.Chain(n)
+		var serial time.Duration
+		for _, workers := range []int{1, 2, 4, 8} {
+			s, err := bench.NewLogresTC(edges, true)
+			if err != nil {
+				return nil, err
+			}
+			s.Program.SetWorkers(workers)
+			var derived int
+			d, err := bench.Timed(func() error {
+				var err error
+				derived, err = s.Run()
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if workers == 1 {
+				serial = d
+			}
+			t.AddRow(n, workers, derived, d, float64(serial)/float64(d))
+		}
 	}
 	return t, nil
 }

@@ -1,0 +1,77 @@
+package algres
+
+import (
+	"fmt"
+	"testing"
+
+	"logres/internal/value"
+)
+
+// JoinWorkers must produce exactly the serial join for any worker count,
+// on inputs large enough to cross the parallel cutoff.
+func TestJoinWorkersDeterminism(t *testing.T) {
+	l := NewRelation("a", "b")
+	r := NewRelation("b", "c")
+	for i := int64(0); i < 600; i++ {
+		l.InsertValues(value.Int(i), value.Int(i%37))
+		r.InsertValues(value.Int(i%37), value.Int(i*3))
+	}
+	serial := JoinWorkers(l, r, 1)
+	for _, workers := range []int{2, 4, 8, 1000} {
+		got := JoinWorkers(l, r, workers)
+		if !got.Equal(serial) {
+			t.Fatalf("workers=%d: %d tuples, serial has %d", workers, got.Len(), serial.Len())
+		}
+	}
+	if Join(l, r).Len() != serial.Len() {
+		t.Fatal("Join disagrees with JoinWorkers(…, 1)")
+	}
+}
+
+// Cartesian product (no shared attributes) through the parallel path.
+func TestJoinWorkersProduct(t *testing.T) {
+	l := NewRelation("a")
+	r := NewRelation("b")
+	for i := int64(0); i < 300; i++ {
+		l.InsertValues(value.Int(i))
+	}
+	for i := int64(0); i < 5; i++ {
+		r.InsertValues(value.Int(i))
+	}
+	got := JoinWorkers(l, r, 8)
+	if got.Len() != 1500 {
+		t.Fatalf("product size %d, want 1500", got.Len())
+	}
+	if !got.Equal(JoinWorkers(l, r, 1)) {
+		t.Fatal("parallel product differs from serial")
+	}
+}
+
+// Empty sides must not wedge the pool.
+func TestJoinWorkersEmpty(t *testing.T) {
+	l := NewRelation("a", "b")
+	r := NewRelation("b", "c")
+	if got := JoinWorkers(l, r, 8); got.Len() != 0 {
+		t.Fatalf("empty join produced %d tuples", got.Len())
+	}
+	l.InsertValues(value.Int(1), value.Int(2))
+	if got := JoinWorkers(l, r, 8); got.Len() != 0 {
+		t.Fatalf("join with empty right produced %d tuples", got.Len())
+	}
+}
+
+func BenchmarkJoinWorkers(b *testing.B) {
+	l := NewRelation("a", "b")
+	r := NewRelation("b", "c")
+	for i := int64(0); i < 4096; i++ {
+		l.InsertValues(value.Int(i), value.Int(i%97))
+		r.InsertValues(value.Int(i%97), value.Int(i*3))
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				JoinWorkers(l, r, workers)
+			}
+		})
+	}
+}

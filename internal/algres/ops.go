@@ -3,6 +3,7 @@ package algres
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"logres/internal/value"
 )
@@ -87,7 +88,19 @@ func Rename(r *Relation, mapping map[string]string) *Relation {
 // Join computes the natural join: tuples agreeing on all shared
 // attributes, concatenated. With no shared attributes it degenerates to
 // the Cartesian product.
-func Join(l, rR *Relation) *Relation {
+func Join(l, rR *Relation) *Relation { return JoinWorkers(l, rR, 1) }
+
+// joinParallelCutoff is the left-side size below which JoinWorkers stays
+// serial: partitioning tiny probes costs more than it saves.
+const joinParallelCutoff = 256
+
+// JoinWorkers is Join with the probe side partitioned across a worker
+// pool. The build-side hash index is constructed once and shared
+// read-only; each worker probes a contiguous slice of the left tuples
+// (taken in canonical order) into a private buffer, and the buffers are
+// merged in partition order, so the result is identical to the serial
+// join for any worker count.
+func JoinWorkers(l, rR *Relation, workers int) *Relation {
 	var shared []string
 	for _, a := range l.attrs {
 		if rR.HasAttr(a) {
@@ -116,19 +129,46 @@ func Join(l, rR *Relation) *Relation {
 		k := key(t)
 		index[k] = append(index[k], t)
 	}
-	for _, lt := range l.Tuples() {
-		for _, rt := range index[key(lt)] {
-			fields := make([]value.Field, 0, len(attrs))
-			for i := 0; i < lt.Len(); i++ {
-				fields = append(fields, lt.Field(i))
-			}
-			for i := 0; i < rt.Len(); i++ {
-				f := rt.Field(i)
-				if !l.HasAttr(f.Label) {
-					fields = append(fields, f)
+	probe := func(lts []value.Tuple, emit func(value.Tuple)) {
+		for _, lt := range lts {
+			for _, rt := range index[key(lt)] {
+				fields := make([]value.Field, 0, len(attrs))
+				for i := 0; i < lt.Len(); i++ {
+					fields = append(fields, lt.Field(i))
 				}
+				for i := 0; i < rt.Len(); i++ {
+					f := rt.Field(i)
+					if !l.HasAttr(f.Label) {
+						fields = append(fields, f)
+					}
+				}
+				emit(value.NewTuple(fields...))
 			}
-			out.Insert(value.NewTuple(fields...))
+		}
+	}
+
+	left := l.Tuples()
+	if workers > len(left) {
+		workers = len(left)
+	}
+	if workers <= 1 || len(left) < joinParallelCutoff {
+		probe(left, func(t value.Tuple) { out.Insert(t) })
+		return out
+	}
+	parts := make([][]value.Tuple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(left)/workers, (w+1)*len(left)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			probe(left[lo:hi], func(t value.Tuple) { parts[w] = append(parts[w], t) })
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		for _, t := range part {
+			out.Insert(t)
 		}
 	}
 	return out

@@ -239,6 +239,12 @@ func NewAlgebraOps(n int) *AlgebraOps {
 // Join runs the natural join and returns its cardinality.
 func (a *AlgebraOps) Join() int { return algres.Join(a.L, a.R).Len() }
 
+// JoinWorkers runs the partitioned parallel join and returns its
+// cardinality.
+func (a *AlgebraOps) JoinWorkers(workers int) int {
+	return algres.JoinWorkers(a.L, a.R, workers).Len()
+}
+
 // NestUnnest nests then unnests and returns the restored cardinality.
 func (a *AlgebraOps) NestUnnest() (int, error) {
 	n, err := algres.Nest(a.L, []string{"a"}, "g")

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"logres/internal/ast"
 	"logres/internal/types"
@@ -26,11 +27,16 @@ type Options struct {
 	// the result is undefined (an error) when no fixpoint is reached.
 	// Stratification and semi-naive evaluation do not apply.
 	NonInflationary bool
+	// Workers is the number of worker goroutines parallel semi-naive
+	// evaluation fans out to. Values ≤ 1 select the serial engine; 0 (the
+	// zero value) means runtime.GOMAXPROCS(0). Results are bit-identical
+	// for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the standard evaluation options.
 func DefaultOptions() Options {
-	return Options{MaxSteps: 100000, SemiNaive: true, Stratify: true}
+	return Options{MaxSteps: 100000, SemiNaive: true, Stratify: true, Workers: runtime.GOMAXPROCS(0)}
 }
 
 // Program is a compiled rule set, ready to evaluate.
@@ -55,6 +61,20 @@ func (p *Program) Stratified() bool { return p.stratified }
 // constraint rules).
 func (p *Program) NumRules() int { return len(p.rules) }
 
+// SetWorkers overrides the evaluation worker count after compilation
+// (values ≤ 0 restore the runtime.GOMAXPROCS(0) default). Benchmarks and
+// determinism tests use it to compare serial and parallel runs of one
+// compiled program.
+func (p *Program) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.opts.Workers = n
+}
+
+// Workers returns the effective evaluation worker count.
+func (p *Program) Workers() int { return p.opts.Workers }
+
 // Compile analyses a rule set against a schema: it resolves predicates and
 // labels, orders rule bodies, checks the safety requirements of §3.1 and
 // the oid-unification legality conditions, determines invention, generates
@@ -63,6 +83,9 @@ func (p *Program) NumRules() int { return len(p.rules) }
 func Compile(schema *types.Schema, rules []*ast.Rule, opts Options) (*Program, error) {
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = DefaultOptions().MaxSteps
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Program{schema: schema, opts: opts}
 	all := append([]*ast.Rule{}, rules...)

@@ -695,6 +695,7 @@ func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet
 func (p *Program) Run(f0 *FactSet, counter *int64) (*FactSet, error) {
 	p.stats = newStats()
 	p.stats.Strata = len(p.strata)
+	p.stats.Workers = p.opts.Workers
 	if p.opts.NonInflationary {
 		return p.runNoninflationary(f0, counter)
 	}

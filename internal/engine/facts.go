@@ -54,16 +54,40 @@ func (f Fact) String() string {
 	return f.Pred + f.Tuple.String()
 }
 
+var nullKey = value.Null{}.Key()
+
+// predCache is the per-predicate access structure: the predicate's facts as
+// a slice (a key-sorted prefix of length sortedLen followed by facts in
+// insertion order) plus hash buckets per component label. Both are
+// maintained incrementally on Add/Remove instead of being discarded and
+// rebuilt from scratch (the pre-PR behaviour made every semi-naive round
+// pay an O(n log n) re-sort and an O(n) index rebuild of the recursive
+// predicate).
+type predCache struct {
+	list      []Fact
+	keys      []string                     // keys[i] == list[i].Key(), kept to avoid re-deriving
+	sortedLen int                          // list[:sortedLen] is in strictly ascending key order
+	index     map[string]map[string][]Fact // label → value key → facts
+	labels    map[string]bool              // labels occurring in any fact
+}
+
 // FactSet is a set of ground facts indexed by predicate. Class predicates
 // additionally index facts by oid so that the right-biased composition ⊕
 // can resolve o-value conflicts.
+//
+// A FactSet can be frozen (Freeze): all per-predicate caches and component
+// buckets are pre-built, reads never mutate shared state (safe for
+// concurrent readers), and Add/Remove panic. Thaw re-enables mutation.
 type FactSet struct {
 	byPred map[string]map[string]Fact    // pred → fact key → fact
 	byOID  map[string]map[value.OID]Fact // class pred → oid → fact
 
-	// caches, invalidated per predicate on mutation
-	sorted map[string][]Fact                       // pred → facts in key order
-	index  map[string]map[string]map[string][]Fact // pred → label → value key → facts
+	caches map[string]*predCache
+	frozen bool
+
+	// rebuilds counts from-scratch cache constructions; the incremental-
+	// maintenance regression test asserts it stays flat across mutations.
+	rebuilds int
 }
 
 // NewFactSet returns an empty fact set.
@@ -74,67 +98,239 @@ func NewFactSet() *FactSet {
 	}
 }
 
-func (s *FactSet) invalidate(pred string) {
-	if s.sorted != nil {
-		delete(s.sorted, pred)
+// buildCache constructs the cache for a predicate from scratch, in strict
+// key order.
+func (s *FactSet) buildCache(pred string) *predCache {
+	m := s.byPred[pred]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	if s.index != nil {
-		delete(s.index, pred)
+	sort.Strings(keys)
+	c := &predCache{
+		list:      make([]Fact, len(keys)),
+		keys:      keys,
+		sortedLen: len(keys),
+		index:     map[string]map[string][]Fact{},
+		labels:    map[string]bool{},
+	}
+	for i, k := range keys {
+		f := m[k]
+		c.list[i] = f
+		for _, fl := range f.Tuple.Fields() {
+			c.labels[fl.Label] = true
+		}
+	}
+	if s.caches == nil {
+		s.caches = map[string]*predCache{}
+	}
+	s.caches[pred] = c
+	s.rebuilds++
+	return c
+}
+
+// flushCache restores strict key order by merging the insertion-ordered
+// tail into the sorted prefix (fresh backing arrays, so previously returned
+// slices stay valid).
+func (c *predCache) flushCache() {
+	n := len(c.list)
+	if c.sortedLen == n {
+		return
+	}
+	tailF := append([]Fact{}, c.list[c.sortedLen:]...)
+	tailK := append([]string{}, c.keys[c.sortedLen:]...)
+	sort.Sort(&factsByKey{facts: tailF, keys: tailK})
+	mergedF := make([]Fact, 0, n)
+	mergedK := make([]string, 0, n)
+	i, j := 0, 0
+	for i < c.sortedLen && j < len(tailK) {
+		if c.keys[i] <= tailK[j] {
+			mergedF = append(mergedF, c.list[i])
+			mergedK = append(mergedK, c.keys[i])
+			i++
+		} else {
+			mergedF = append(mergedF, tailF[j])
+			mergedK = append(mergedK, tailK[j])
+			j++
+		}
+	}
+	mergedF = append(append(mergedF, c.list[i:c.sortedLen]...), tailF[j:]...)
+	mergedK = append(append(mergedK, c.keys[i:c.sortedLen]...), tailK[j:]...)
+	c.list, c.keys, c.sortedLen = mergedF, mergedK, n
+}
+
+type factsByKey struct {
+	facts []Fact
+	keys  []string
+}
+
+func (a *factsByKey) Len() int           { return len(a.keys) }
+func (a *factsByKey) Less(i, j int) bool { return a.keys[i] < a.keys[j] }
+func (a *factsByKey) Swap(i, j int) {
+	a.facts[i], a.facts[j] = a.facts[j], a.facts[i]
+	a.keys[i], a.keys[j] = a.keys[j], a.keys[i]
+}
+
+// buildBucket constructs the component buckets of one label from the
+// current list order.
+func (c *predCache) buildBucket(label string) map[string][]Fact {
+	idx := map[string][]Fact{}
+	for _, f := range c.list {
+		cv, found := f.Tuple.Get(label)
+		if !found {
+			cv = value.Null{}
+		}
+		k := cv.Key()
+		idx[k] = append(idx[k], f)
+	}
+	c.index[label] = idx
+	return idx
+}
+
+// cacheAdd maintains the cache for one inserted fact: O(1) list append plus
+// one bucket append per already-built label index.
+func (c *predCache) cacheAdd(f Fact, key string) {
+	c.list = append(c.list, f)
+	c.keys = append(c.keys, key)
+	for label, idx := range c.index {
+		cv, found := f.Tuple.Get(label)
+		if !found {
+			cv = value.Null{}
+		}
+		k := cv.Key()
+		idx[k] = append(idx[k], f)
+	}
+	for _, fl := range f.Tuple.Fields() {
+		c.labels[fl.Label] = true
 	}
 }
 
-// FactsByComponent returns the facts of pred whose labelled component
-// equals v, using (and lazily building) a hash index. The returned slice
-// must not be mutated; ordering within a bucket follows fact key order.
-func (s *FactSet) FactsByComponent(pred, label string, v value.Value) []Fact {
-	if s.index == nil {
-		s.index = map[string]map[string]map[string][]Fact{}
-	}
-	byLabel := s.index[pred]
-	if byLabel == nil {
-		byLabel = map[string]map[string][]Fact{}
-		s.index[pred] = byLabel
-	}
-	idx, ok := byLabel[label]
-	if !ok {
-		idx = map[string][]Fact{}
-		for _, f := range s.Facts(pred) {
-			cv, found := f.Tuple.Get(label)
-			if !found {
-				cv = value.Null{}
-			}
-			k := cv.Key()
-			idx[k] = append(idx[k], f)
+// cacheRemove maintains the cache for one removed fact (fresh slices so
+// previously returned ones stay valid).
+func (c *predCache) cacheRemove(f Fact, key string) {
+	pos := -1
+	for i, k := range c.keys {
+		if k == key {
+			pos = i
+			break
 		}
-		byLabel[label] = idx
+	}
+	if pos < 0 {
+		return
+	}
+	c.list = append(append([]Fact{}, c.list[:pos]...), c.list[pos+1:]...)
+	c.keys = append(append([]string{}, c.keys[:pos]...), c.keys[pos+1:]...)
+	if pos < c.sortedLen {
+		c.sortedLen--
+	}
+	for label, idx := range c.index {
+		cv, found := f.Tuple.Get(label)
+		if !found {
+			cv = value.Null{}
+		}
+		k := cv.Key()
+		bucket := idx[k]
+		for i := range bucket {
+			if bucket[i].Pred == f.Pred && bucket[i].Key() == key {
+				idx[k] = append(append([]Fact{}, bucket[:i]...), bucket[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Freeze pre-builds every predicate's cache and component buckets and marks
+// the set read-only: subsequent Facts/FactsByComponent calls never mutate
+// shared state, making the set safe for concurrent readers; Add and Remove
+// panic until Thaw. Freezing an already frozen set is a no-op.
+func (s *FactSet) Freeze() {
+	if s.frozen {
+		return
+	}
+	for pred := range s.byPred {
+		c := s.caches[pred]
+		if c == nil {
+			c = s.buildCache(pred)
+		}
+		for label := range c.labels {
+			if _, ok := c.index[label]; !ok {
+				c.buildBucket(label)
+			}
+		}
+	}
+	s.frozen = true
+}
+
+// Thaw re-enables mutation after Freeze.
+func (s *FactSet) Thaw() { s.frozen = false }
+
+// Frozen reports whether the set is frozen.
+func (s *FactSet) Frozen() bool { return s.frozen }
+
+// FactsByComponent returns the facts of pred whose labelled component
+// equals v, through the component hash index. The returned slice must not
+// be mutated. On an unfrozen set the index is built on demand and bucket
+// order follows fact key order; on a frozen set all buckets are pre-built
+// and the lookup is read-only.
+func (s *FactSet) FactsByComponent(pred, label string, v value.Value) []Fact {
+	c := s.caches[pred]
+	if c == nil {
+		if s.frozen {
+			return nil // a frozen set has caches for every stored predicate
+		}
+		c = s.buildCache(pred)
+	}
+	idx, ok := c.index[label]
+	if !ok {
+		if s.frozen {
+			// The label occurs in no fact of pred (Freeze pre-builds every
+			// occurring label), so every fact holds null for it.
+			if v.Key() == nullKey {
+				return c.list
+			}
+			return nil
+		}
+		c.flushCache() // keep bucket order = key order on unfrozen sets
+		idx = c.buildBucket(label)
 	}
 	return idx[v.Key()]
 }
 
 // Add inserts a fact. For class facts an existing fact with the same oid is
 // replaced (the newer o-value wins — the ⊕ bias); the method reports
-// whether the set changed.
+// whether the set changed. Add panics on a frozen set.
 func (s *FactSet) Add(f Fact) bool {
+	if s.frozen {
+		panic("engine: Add on frozen FactSet")
+	}
 	m := s.byPred[f.Pred]
 	if m == nil {
 		m = map[string]Fact{}
 		s.byPred[f.Pred] = m
 	}
-	s.invalidate(f.Pred)
+	c := s.caches[f.Pred]
 	if f.IsClass {
 		om := s.byOID[f.Pred]
 		if om == nil {
 			om = map[value.OID]Fact{}
 			s.byOID[f.Pred] = om
 		}
+		k := f.Key()
 		if prev, ok := om[f.OID]; ok {
-			if prev.Key() == f.Key() {
+			pk := prev.Key()
+			if pk == k {
 				return false
 			}
-			delete(m, prev.Key())
+			delete(m, pk)
+			if c != nil {
+				c.cacheRemove(prev, pk)
+			}
 		}
 		om[f.OID] = f
-		m[f.Key()] = f
+		m[k] = f
+		if c != nil {
+			c.cacheAdd(f, k)
+		}
 		return true
 	}
 	k := f.Key()
@@ -142,12 +338,18 @@ func (s *FactSet) Add(f Fact) bool {
 		return false
 	}
 	m[k] = f
+	if c != nil {
+		c.cacheAdd(f, k)
+	}
 	return true
 }
 
 // Remove deletes a fact by exact identity; it reports whether it was
-// present.
+// present. Remove panics on a frozen set.
 func (s *FactSet) Remove(f Fact) bool {
+	if s.frozen {
+		panic("engine: Remove on frozen FactSet")
+	}
 	m := s.byPred[f.Pred]
 	if m == nil {
 		return false
@@ -156,8 +358,10 @@ func (s *FactSet) Remove(f Fact) bool {
 	if _, ok := m[k]; !ok {
 		return false
 	}
-	s.invalidate(f.Pred)
 	delete(m, k)
+	if c := s.caches[f.Pred]; c != nil {
+		c.cacheRemove(f, k)
+	}
 	if f.IsClass {
 		if om := s.byOID[f.Pred]; om != nil {
 			if cur, ok := om[f.OID]; ok && cur.Key() == k {
@@ -189,27 +393,23 @@ func (s *FactSet) HasOID(pred string, oid value.OID) (Fact, bool) {
 	return f, ok
 }
 
-// Facts returns the facts of a predicate in deterministic (key) order.
-// The returned slice is cached and must not be mutated.
+// Facts returns the facts of a predicate. On an unfrozen set the slice is
+// in deterministic (key) order; on a frozen set it is the key-sorted prefix
+// followed by post-build insertions in insertion order (still deterministic
+// given the same mutation history — strict key order is restored on the
+// first unfrozen call). The returned slice must not be mutated.
 func (s *FactSet) Facts(pred string) []Fact {
-	if cached, ok := s.sorted[pred]; ok {
-		return cached
+	c := s.caches[pred]
+	if c == nil {
+		if s.frozen {
+			return nil // a frozen set has caches for every stored predicate
+		}
+		c = s.buildCache(pred)
 	}
-	m := s.byPred[pred]
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	if !s.frozen {
+		c.flushCache()
 	}
-	sort.Strings(keys)
-	out := make([]Fact, len(keys))
-	for i, k := range keys {
-		out[i] = m[k]
-	}
-	if s.sorted == nil {
-		s.sorted = map[string][]Fact{}
-	}
-	s.sorted[pred] = out
-	return out
+	return c.list
 }
 
 // Size reports the number of facts for a predicate.
@@ -236,7 +436,8 @@ func (s *FactSet) Preds() []string {
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy is unfrozen and starts without
+// caches.
 func (s *FactSet) Clone() *FactSet {
 	n := NewFactSet()
 	for p, m := range s.byPred {

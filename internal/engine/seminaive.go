@@ -47,8 +47,17 @@ func stratumSemiNaiveEligible(stratum []*crule) bool {
 	return true
 }
 
-// semiNaive runs delta iteration over one stratum.
+// semiNaive runs delta iteration over one stratum, fanning the per-round
+// passes across a worker pool when Options.Workers > 1.
 func (p *Program) semiNaive(stratum []*crule, f *FactSet, counter *int64) (*FactSet, error) {
+	if p.opts.Workers > 1 {
+		return p.semiNaiveParallel(stratum, f, counter)
+	}
+	return p.semiNaiveSerial(stratum, f, counter)
+}
+
+// semiNaiveSerial is the single-goroutine delta iteration.
+func (p *Program) semiNaiveSerial(stratum []*crule, f *FactSet, counter *int64) (*FactSet, error) {
 	cur := f.Clone()
 
 	// Round 0: full evaluation of every rule against the initial set.

@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel semi-naive evaluation. A semi-naive-eligible stratum is monotone:
+// no deletions, no oid invention, no o-value overwrites (see
+// stratumSemiNaiveEligible), so every derivation is a pure value-level fact
+// and the union of the per-pass deltas does not depend on execution order.
+// Each round's (rule × delta-position) passes are therefore split into
+// tasks — additionally chunking the facts the first body literal ranges
+// over, so a single recursive rule still saturates the pool — and run on a
+// worker pool. Workers match against a frozen snapshot of the current fact
+// set (pre-built sorted slices and component buckets, no lazy cache
+// mutation; see FactSet.Freeze) and accumulate into private delta sets;
+// the merge walks tasks in deterministic task order, making the result
+// bit-identical to serial evaluation for any worker count.
+
+// snTask is one unit of parallel work: one rule, one delta position (-1 for
+// the round-0 full pass), and optionally a chunk of the facts the first
+// body literal ranges over (chunk ⊆ delta when deltaPos == 0, chunk ⊆ the
+// current extension otherwise).
+type snTask struct {
+	rule     *crule
+	deltaPos int
+	chunk    []Fact
+	chunked  bool
+}
+
+// chunkableFirst reports whether a rule's first (ordered) body literal is a
+// positive predicate literal whose extension can be partitioned.
+func chunkableFirst(r *crule) (resolvedLit, bool) {
+	if len(r.body) == 0 {
+		return resolvedLit{}, false
+	}
+	l := r.body[0]
+	if (l.kind == pkClass || l.kind == pkAssoc) && !l.negated {
+		return l, true
+	}
+	return resolvedLit{}, false
+}
+
+// appendChunked splits facts into a few chunks per worker and appends one
+// task per non-empty chunk.
+func appendChunked(tasks []snTask, r *crule, deltaPos int, facts []Fact, workers int) []snTask {
+	n := len(facts)
+	if n == 0 {
+		return tasks
+	}
+	k := 4 * workers
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if lo == hi {
+			continue
+		}
+		tasks = append(tasks, snTask{rule: r, deltaPos: deltaPos, chunk: facts[lo:hi], chunked: true})
+	}
+	return tasks
+}
+
+// round0Tasks builds the full-evaluation pass of every rule.
+func round0Tasks(stratum []*crule, cur *FactSet, workers int) []snTask {
+	var tasks []snTask
+	for _, r := range stratum {
+		if l0, ok := chunkableFirst(r); ok {
+			tasks = appendChunked(tasks, r, -1, cur.Facts(l0.pred), workers)
+		} else {
+			tasks = append(tasks, snTask{rule: r, deltaPos: -1})
+		}
+	}
+	return tasks
+}
+
+// deltaTasks builds the per-round passes: one task group per (rule,
+// delta-position) whose delta extension is non-empty.
+func deltaTasks(stratum []*crule, cur, delta *FactSet, workers int) []snTask {
+	var tasks []snTask
+	for _, r := range stratum {
+		for pos, l := range r.body {
+			if l.kind != pkClass && l.kind != pkAssoc {
+				continue
+			}
+			if l.negated {
+				continue
+			}
+			if delta.Size(l.pred) == 0 {
+				continue
+			}
+			if pos == 0 {
+				// The delta-restricted literal is the partition axis.
+				tasks = appendChunked(tasks, r, 0, delta.Facts(l.pred), workers)
+				continue
+			}
+			if l0, ok := chunkableFirst(r); ok {
+				tasks = appendChunked(tasks, r, pos, cur.Facts(l0.pred), workers)
+			} else {
+				tasks = append(tasks, snTask{rule: r, deltaPos: pos})
+			}
+		}
+	}
+	return tasks
+}
+
+// runSNTask evaluates one task into the private delta out. The context's
+// fact set (and delta, if any) must be frozen.
+func (c *evalCtx) runSNTask(t snTask, out *FactSet) error {
+	r := t.rule
+	dminus := NewFactSet() // defensively unused: eligible strata never delete
+	yield := func(e *env) error {
+		return c.instantiateHead(r, e, out, dminus)
+	}
+	if !t.chunked {
+		if t.deltaPos < 0 {
+			return c.matchBody(r.body, 0, newEnv(), yield)
+		}
+		return c.matchBodyDelta(r.body, 0, t.deltaPos, c.delta, newEnv(), yield)
+	}
+	for _, fact := range t.chunk {
+		e := newEnv()
+		ok, err := c.matchFact(r.body[0], fact, e)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if t.deltaPos <= 0 {
+			if err := c.matchBody(r.body, 1, e, yield); err != nil {
+				return err
+			}
+		} else {
+			if err := c.matchBodyDelta(r.body, 1, t.deltaPos, c.delta, e, yield); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runSNTasks runs the tasks on the worker pool and merges the private
+// deltas (and per-task stats) in task order.
+func (p *Program) runSNTasks(tasks []snTask, cur, delta *FactSet, counter *int64) (*FactSet, error) {
+	workers := p.opts.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]*FactSet, len(tasks))
+	taskStats := make([]*Stats, len(tasks))
+	errs := make([]error, len(tasks))
+	base := *counter
+	var nextTask int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&nextTask, 1)
+				if i >= int64(len(tasks)) {
+					return
+				}
+				t := tasks[i]
+				out := NewFactSet()
+				var st *Stats
+				if p.stats != nil {
+					st = newStats()
+				}
+				localCounter := base
+				c := &evalCtx{p: p, f: cur, counter: &localCounter, deltaIdx: -1, delta: delta, stats: st}
+				if err := c.runSNTask(t, out); err != nil {
+					errs[i] = fmt.Errorf("%v (in rule %s)", err, t.rule)
+				}
+				results[i], taskStats[i] = out, st
+			}
+		}()
+	}
+	wg.Wait()
+
+	merged := NewFactSet()
+	for i := range tasks {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if taskStats[i] != nil {
+			if taskStats[i].Invented > 0 {
+				return nil, fmt.Errorf("engine: internal: oid invention inside a parallel semi-naive stratum")
+			}
+			if p.stats != nil {
+				for id, n := range taskStats[i].Firings {
+					p.stats.Firings[id] += n
+				}
+			}
+		}
+		merged.Merge(results[i])
+	}
+	return merged, nil
+}
+
+// semiNaiveParallel is the worker-pool delta iteration; results are
+// identical to semiNaiveSerial.
+func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64) (*FactSet, error) {
+	workers := p.opts.Workers
+	if p.stats != nil {
+		p.stats.Workers = workers
+	}
+	cur := f.Clone()
+	cur.Freeze()
+
+	start := time.Now()
+	tasks := round0Tasks(stratum, cur, workers)
+	delta, err := p.runSNTasks(tasks, cur, nil, counter)
+	if err != nil {
+		cur.Thaw()
+		return nil, err
+	}
+	p.recordRound(0, len(tasks), time.Since(start))
+
+	for round := 0; delta.TotalSize() > 0; round++ {
+		if round >= p.opts.MaxSteps {
+			cur.Thaw()
+			return nil, fmt.Errorf("engine: no fixpoint within %d semi-naive rounds", p.opts.MaxSteps)
+		}
+		if p.stats != nil {
+			p.stats.Steps++
+		}
+		start := time.Now()
+		cur.Thaw()
+		cur.Merge(delta)
+		cur.Freeze()
+		delta.Freeze()
+		tasks := deltaTasks(stratum, cur, delta, workers)
+		next, err := p.runSNTasks(tasks, cur, delta, counter)
+		if err != nil {
+			cur.Thaw()
+			return nil, err
+		}
+		p.recordRound(round+1, len(tasks), time.Since(start))
+		delta = next
+	}
+	cur.Thaw()
+	return cur, nil
+}
+
+// recordRound appends one per-round parallel timing record to the stats.
+func (p *Program) recordRound(round, tasks int, d time.Duration) {
+	if p.stats == nil {
+		return
+	}
+	p.stats.RoundTimings = append(p.stats.RoundTimings, RoundTiming{Round: round, Tasks: tasks, Duration: d})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Stats records what an evaluation did — the paper's §5 asks for "tools
@@ -22,6 +23,22 @@ type Stats struct {
 	Firings map[int]int
 	// Invented is the number of oids invented.
 	Invented int
+	// Workers is the worker count the evaluation ran with (1 = serial).
+	Workers int
+	// RoundTimings records the wall-clock duration and task count of each
+	// parallel semi-naive round (empty for serial evaluations).
+	RoundTimings []RoundTiming
+}
+
+// RoundTiming is the timing record of one parallel semi-naive round.
+type RoundTiming struct {
+	// Round is the round index within its stratum (0 = the full pass).
+	Round int
+	// Tasks is the number of (rule × delta-position × chunk) tasks the
+	// round fanned out.
+	Tasks int
+	// Duration is the round's wall-clock time, task generation included.
+	Duration time.Duration
 }
 
 func newStats() *Stats { return &Stats{Firings: map[int]int{}} }
@@ -68,6 +85,19 @@ func (p *Program) Explain() string {
 	}
 	if st := p.stats; st != nil {
 		fmt.Fprintf(&b, "last run: %d steps, %d oids invented\n", st.Steps, st.Invented)
+		if st.Workers > 0 {
+			fmt.Fprintf(&b, "workers: %d\n", st.Workers)
+		}
+		if len(st.RoundTimings) > 0 {
+			var total time.Duration
+			var tasks int
+			for _, rt := range st.RoundTimings {
+				total += rt.Duration
+				tasks += rt.Tasks
+			}
+			fmt.Fprintf(&b, "  parallel semi-naive: %d rounds, %d tasks, %s total\n",
+				len(st.RoundTimings), tasks, total)
+		}
 		var ids []int
 		for id := range st.Firings {
 			ids = append(ids, id)

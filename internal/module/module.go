@@ -62,7 +62,9 @@ func (st *State) Instance(opts engine.Options) (*engine.FactSet, *instance.Insta
 	if err != nil {
 		return nil, nil, err
 	}
-	st.Counter = counter
+	// Note: the advanced counter is NOT written back to st — Instance is a
+	// pure read (oids invented while deriving the instance are not part of
+	// the persistent state), which lets Database readers share a lock.
 	in := engine.ToInstance(f, st.S, counter)
 	if err := in.CheckConsistency(); err != nil {
 		return nil, nil, fmt.Errorf("module: instance inconsistent: %w", err)

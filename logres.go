@@ -87,13 +87,32 @@ func WithNonInflationary(on bool) Option {
 	return func(db *Database) { db.opts.NonInflationary = on }
 }
 
+// WithWorkers sets the number of goroutines used for parallel semi-naive
+// evaluation (n <= 0 selects GOMAXPROCS, 1 forces serial). Results are
+// bit-identical to serial evaluation for any worker count.
+func WithWorkers(n int) Option {
+	return func(db *Database) { db.opts.Workers = n }
+}
+
 // Database is a LOGRES database: a state (E, R, S) evolved by module
-// applications. All methods are safe for concurrent use; module
-// applications serialize.
+// applications. All methods are safe for concurrent use: read-only
+// methods (Query, Instance, Count, Save, …) share an RWMutex read lock
+// and run concurrently with each other; module applications take the
+// write lock and serialize. The published extensional fact set is kept
+// frozen (engine.FactSet.Freeze) so concurrent readers share its indexes
+// without lazy mutation.
 type Database struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	st   *module.State
 	opts engine.Options
+}
+
+// publish freezes the state's extensional facts and installs it as the
+// current state. Callers must hold the write lock (or be the sole owner,
+// as in Open/Load).
+func (db *Database) publish(st *module.State) {
+	st.E.Freeze()
+	db.st = st
 }
 
 // Open creates a database over the schema declared in src (domains /
@@ -110,10 +129,11 @@ func Open(src string, options ...Option) (*Database, error) {
 	if err := m.Schema.Validate(); err != nil {
 		return nil, err
 	}
-	db := &Database{st: module.NewState(m.Schema), opts: engine.DefaultOptions()}
+	db := &Database{opts: engine.DefaultOptions()}
 	for _, o := range options {
 		o(db)
 	}
+	db.publish(module.NewState(m.Schema))
 	return db, nil
 }
 
@@ -155,7 +175,7 @@ func (db *Database) Apply(m *Module, mode Mode) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.st = res.State
+	db.publish(res.State)
 	return &Result{Answer: res.Answer, Mode: mode}, nil
 }
 
@@ -167,8 +187,8 @@ func (db *Database) Query(goalSrc string) (*Answer, error) {
 		return nil, err
 	}
 	m := &ast.Module{Schema: types.NewSchema(), Goal: goal}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	res, err := module.Apply(db.st, m, ast.RIDI, db.opts)
 	if err != nil {
 		return nil, err
@@ -179,8 +199,8 @@ func (db *Database) Query(goalSrc string) (*Answer, error) {
 // Instance computes the current database instance I (the persistent rules
 // applied to E) and returns its facts.
 func (db *Database) Instance() ([]Fact, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	f, _, err := db.st.Instance(db.opts)
 	if err != nil {
 		return nil, err
@@ -194,20 +214,20 @@ func (db *Database) Instance() ([]Fact, error) {
 
 // InstanceString renders the current instance deterministically.
 func (db *Database) InstanceString() (string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	f, _, err := db.st.Instance(db.opts)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, in, err := db.st.Instance(db.opts)
 	if err != nil {
 		return "", err
 	}
-	return engine.ToInstance(f, db.st.S, db.st.Counter).String(), nil
+	return in.String(), nil
 }
 
 // Count reports the number of facts of a predicate in the current
 // instance (derived facts included).
 func (db *Database) Count(pred string) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	f, _, err := db.st.Instance(db.opts)
 	if err != nil {
 		return 0, err
@@ -217,15 +237,15 @@ func (db *Database) Count(pred string) (int, error) {
 
 // EDBCount reports the number of extensional facts of a predicate.
 func (db *Database) EDBCount(pred string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.st.E.Size(types.Canon(pred))
 }
 
 // RuleCount reports the number of persistent rules.
 func (db *Database) RuleCount() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return len(db.st.R)
 }
 
@@ -238,23 +258,23 @@ func (db *Database) Materialize() error {
 	if err != nil {
 		return err
 	}
-	db.st = st
+	db.publish(st)
 	return nil
 }
 
 // CheckConsistency verifies Definition 4 and the passive constraints
 // against the current instance.
 func (db *Database) CheckConsistency() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, _, err := db.st.Instance(db.opts)
 	return err
 }
 
 // Save writes a snapshot of the database state.
 func (db *Database) Save(w io.Writer) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return storage.SaveState(w, db.st)
 }
 
@@ -264,17 +284,18 @@ func Load(r io.Reader, options ...Option) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{st: st, opts: engine.DefaultOptions()}
+	db := &Database{opts: engine.DefaultOptions()}
 	for _, o := range options {
 		o(db)
 	}
+	db.publish(st)
 	return db, nil
 }
 
 // Schema renders the current schema in LOGRES syntax.
 func (db *Database) Schema() string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.st.S.String()
 }
 
@@ -307,14 +328,14 @@ func (db *Database) Call(name string) (*Result, error) {
 		return nil, err
 	}
 	m, _ := db.st.Lib.Get(name)
-	db.st = res.State
+	db.publish(res.State)
 	return &Result{Answer: res.Answer, Mode: m.Mode}, nil
 }
 
 // Modules lists the registered module names.
 func (db *Database) Modules() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.st.Lib == nil {
 		return nil
 	}
@@ -326,8 +347,8 @@ func (db *Database) Modules() []string {
 // invention) together with the run's statistics — the §5 "design,
 // debugging, and monitoring" tooling.
 func (db *Database) Explain() (string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	prog, err := engine.Compile(db.st.S, db.st.R, db.opts)
 	if err != nil {
 		return "", err
