@@ -68,23 +68,25 @@ func BenchmarkE1_TC_Algres(b *testing.B) {
 		if !semi {
 			name = "naive"
 		}
-		for _, n := range []int{32, 128} {
-			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
-				s, err := bench.NewAlgresTC(bench.Chain(n), semi)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					got, err := s.Run()
+		for _, workers := range []int{1, 4} {
+			for _, n := range []int{32, 128} {
+				b.Run(fmt.Sprintf("%s/workers=%d/n=%d", name, workers, n), func(b *testing.B) {
+					s, err := bench.NewAlgresTCWorkers(bench.Chain(n), semi, workers)
 					if err != nil {
 						b.Fatal(err)
 					}
-					if got != n*(n+1)/2 {
-						b.Fatalf("tc = %d", got)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						got, err := s.Run()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if got != n*(n+1)/2 {
+							b.Fatalf("tc = %d", got)
+						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -336,15 +338,18 @@ func BenchmarkE11_Semantics(b *testing.B) {
 }
 
 // E12 — parallel semi-naive scaling: the same chain closure at several
-// worker counts (results are bit-identical; only wall-clock differs).
+// worker × shard counts (results are bit-identical; only wall-clock
+// differs).
 func BenchmarkE12_ParallelClosure(b *testing.B) {
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	for _, cfg := range [][2]int{{1, 1}, {2, 2}, {4, 4}} {
+		workers, shards := cfg[0], cfg[1]
+		b.Run(fmt.Sprintf("workers=%d/shards=%d", workers, shards), func(b *testing.B) {
 			s, err := bench.NewLogresTC(bench.Chain(128), true)
 			if err != nil {
 				b.Fatal(err)
 			}
 			s.Program.SetWorkers(workers)
+			s.Program.SetShards(shards)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				got, err := s.Run()

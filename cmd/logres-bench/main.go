@@ -64,7 +64,7 @@ func sizes(quick bool, full, small []int) []int {
 func runE1(quick bool) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:   "E1 — transitive closure (chain graphs)",
-		Columns: []string{"n", "edges", "derived", "logres-naive", "logres-semi", "logres-par4", "algres-naive", "algres-semi", "datalog-semi"},
+		Columns: []string{"n", "edges", "derived", "logres-naive", "logres-semi", "logres-par4", "algres-naive", "algres-semi", "algres-par4", "datalog-semi"},
 	}
 	for _, n := range sizes(quick, []int{32, 64, 128}, []int{16, 32}) {
 		edges := bench.Chain(n)
@@ -91,6 +91,7 @@ func runE1(quick bool) (*bench.Table, error) {
 			return nil, err
 		}
 		lp.Program.SetWorkers(4)
+		lp.Program.SetShards(4)
 		dPar, err := bench.Timed(func() error { _, err := lp.Run(); return err })
 		if err != nil {
 			return nil, err
@@ -111,6 +112,14 @@ func runE1(quick bool) (*bench.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		ap, err := bench.NewAlgresTCWorkers(edges, true, 4)
+		if err != nil {
+			return nil, err
+		}
+		dAP, err := bench.Timed(func() error { _, err := ap.Run(); return err })
+		if err != nil {
+			return nil, err
+		}
 		dl, err := bench.NewDatalogTC(edges, true)
 		if err != nil {
 			return nil, err
@@ -119,7 +128,7 @@ func runE1(quick bool) (*bench.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, len(edges), derived, dNaive, dSemi, dPar, dAN, dAS, dDL)
+		t.AddRow(n, len(edges), derived, dNaive, dSemi, dPar, dAN, dAS, dAP, dDL)
 	}
 	return t, nil
 }
@@ -371,17 +380,19 @@ func runE10(quick bool) (*bench.Table, error) {
 func runE12(quick bool) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:   "E12 — parallel semi-naive scaling (chain closure)",
-		Columns: []string{"n", "workers", "derived", "time", "speedup"},
+		Columns: []string{"n", "workers", "shards", "derived", "time", "speedup"},
 	}
 	for _, n := range sizes(quick, []int{1024, 4096}, []int{128, 256}) {
 		edges := bench.Chain(n)
 		var serial time.Duration
-		for _, workers := range []int{1, 2, 4, 8} {
+		for _, cfg := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 8}} {
+			workers, shards := cfg[0], cfg[1]
 			s, err := bench.NewLogresTC(edges, true)
 			if err != nil {
 				return nil, err
 			}
 			s.Program.SetWorkers(workers)
+			s.Program.SetShards(shards)
 			var derived int
 			d, err := bench.Timed(func() error {
 				var err error
@@ -394,7 +405,7 @@ func runE12(quick bool) (*bench.Table, error) {
 			if workers == 1 {
 				serial = d
 			}
-			t.AddRow(n, workers, derived, d, float64(serial)/float64(d))
+			t.AddRow(n, workers, shards, derived, d, float64(serial)/float64(d))
 		}
 	}
 	return t, nil

@@ -43,6 +43,7 @@ type algRule struct {
 type RuleProgram struct {
 	rules   []*algRule
 	schemas map[string][]string
+	opts    Opts
 }
 
 // CompileRules compiles rules against relation schemas (name → attribute
@@ -51,7 +52,14 @@ type RuleProgram struct {
 // variables and constants. Heads must be positive with all variables
 // bound by positive body literals.
 func CompileRules(schemas map[string][]string, rules []*ast.Rule) (*RuleProgram, error) {
-	rp := &RuleProgram{schemas: schemas}
+	return CompileRulesOpts(schemas, rules, Opts{})
+}
+
+// CompileRulesOpts is CompileRules configured by an options struct:
+// opts.JoinWorkers is threaded into every join and anti-join the compiled
+// rules evaluate, and opts.MaxSteps is the default fixpoint bound.
+func CompileRulesOpts(schemas map[string][]string, rules []*ast.Rule, opts Opts) (*RuleProgram, error) {
+	rp := &RuleProgram{schemas: schemas, opts: opts}
 	for _, r := range rules {
 		ar, err := compileAlgRule(schemas, r)
 		if err != nil {
@@ -233,7 +241,7 @@ func (rp *RuleProgram) evalRule(db *DB, ar *algRule, deltaPred string, delta *Re
 		if joined == nil {
 			joined = rel
 		} else {
-			joined = Join(joined, rel)
+			joined = JoinWorkers(joined, rel, rp.opts.JoinWorkers)
 		}
 	}
 	if joined == nil {
@@ -286,7 +294,7 @@ func (rp *RuleProgram) evalRule(db *DB, ar *algRule, deltaPred string, delta *Re
 		if err != nil {
 			return nil, err
 		}
-		joined = AntiJoin(joined, rel)
+		joined = AntiJoinWorkers(joined, rel, rp.opts.JoinWorkers)
 	}
 	// Head projection.
 	out := NewRelation(rp.schemas[ar.headPred]...)
@@ -337,6 +345,9 @@ func atomRelation(src *Relation, atom bodyAtom) (*Relation, error) {
 // EvalNaive computes the program's least fixpoint by naive iteration
 // through the closure operator.
 func (rp *RuleProgram) EvalNaive(db *DB, maxSteps int) (*DB, error) {
+	if maxSteps <= 0 {
+		maxSteps = rp.opts.MaxSteps
+	}
 	rp.ensureIDB(db)
 	return Fixpoint(db, func(cur *DB) (map[string]*Relation, error) {
 		updates := map[string]*Relation{}
@@ -361,6 +372,9 @@ func (rp *RuleProgram) EvalNaive(db *DB, maxSteps int) (*DB, error) {
 
 // EvalSemiNaive computes the same fixpoint with delta iteration.
 func (rp *RuleProgram) EvalSemiNaive(db *DB, maxSteps int) (*DB, error) {
+	if maxSteps <= 0 {
+		maxSteps = rp.opts.MaxSteps
+	}
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}

@@ -10,6 +10,17 @@ import "fmt"
 // database and returns the relations to merge; Fixpoint iterates to
 // convergence.
 
+// Opts configures closure evaluation. The zero value is the serial
+// default.
+type Opts struct {
+	// MaxSteps bounds fixpoint iteration (0 = the package default, 1e6).
+	MaxSteps int
+	// JoinWorkers is the worker count threaded into every join and
+	// anti-join (≤ 1 = serial). Results are identical for any value — the
+	// parallel operators merge partition buffers in order.
+	JoinWorkers int
+}
+
 // StepFunc computes one closure step: given the current database it
 // returns new contents for some relations (unioned into the database).
 type StepFunc func(db *DB) (map[string]*Relation, error)
@@ -17,6 +28,12 @@ type StepFunc func(db *DB) (map[string]*Relation, error)
 // Fixpoint iterates step until the database stops changing, up to
 // maxSteps (0 = 1e6).
 func Fixpoint(db *DB, step StepFunc, maxSteps int) (*DB, error) {
+	return FixpointOpts(db, step, Opts{MaxSteps: maxSteps})
+}
+
+// FixpointOpts is Fixpoint configured by an options struct.
+func FixpointOpts(db *DB, step StepFunc, opts Opts) (*DB, error) {
+	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}
@@ -49,6 +66,12 @@ func Fixpoint(db *DB, step StepFunc, maxSteps int) (*DB, error) {
 // TransitiveClosure is the classic closure instance: given a binary
 // relation over (from, to), it computes its transitive closure.
 func TransitiveClosure(edges *Relation, from, to string) (*Relation, error) {
+	return TransitiveClosureOpts(edges, from, to, Opts{})
+}
+
+// TransitiveClosureOpts is TransitiveClosure with the step's join running
+// on opts.JoinWorkers workers.
+func TransitiveClosureOpts(edges *Relation, from, to string, opts Opts) (*Relation, error) {
 	if !edges.HasAttr(from) || !edges.HasAttr(to) {
 		return nil, fmt.Errorf("algres: closure: missing attributes %q/%q", from, to)
 	}
@@ -59,20 +82,20 @@ func TransitiveClosure(edges *Relation, from, to string) (*Relation, error) {
 	db := NewDB()
 	db.Set("tc", base.Clone())
 	db.Set("edge", base)
-	result, err := Fixpoint(db, func(db *DB) (map[string]*Relation, error) {
+	result, err := FixpointOpts(db, func(db *DB) (map[string]*Relation, error) {
 		tc, _ := db.Get("tc")
 		e, _ := db.Get("edge")
 		// tc(from, to) ⋈ edge(to=from', to') — rename to line up the join.
 		mid := Rename(tc, map[string]string{from: "$a", to: "$m"})
 		step := Rename(e, map[string]string{from: "$m", to: "$b"})
-		joined := Join(mid, step)
+		joined := JoinWorkers(mid, step, opts.JoinWorkers)
 		proj, err := Project(joined, "$a", "$b")
 		if err != nil {
 			return nil, err
 		}
 		next := Rename(proj, map[string]string{"$a": from, "$b": to})
 		return map[string]*Relation{"tc": next}, nil
-	}, 0)
+	}, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -176,7 +176,15 @@ func JoinWorkers(l, rR *Relation, workers int) *Relation {
 
 // AntiJoin returns the tuples of l with no join partner in r (the
 // complement used for safe negation).
-func AntiJoin(l, rR *Relation) *Relation {
+func AntiJoin(l, rR *Relation) *Relation { return AntiJoinWorkers(l, rR, 1) }
+
+// AntiJoinWorkers is AntiJoin with the probe side partitioned across a
+// worker pool, mirroring JoinWorkers: the membership index is built once
+// and shared read-only, each worker filters a contiguous slice of the left
+// tuples into a private buffer, and the buffers are concatenated in
+// partition order — identical to the serial anti-join for any worker
+// count.
+func AntiJoinWorkers(l, rR *Relation, workers int) *Relation {
 	var shared []string
 	for _, a := range l.attrs {
 		if rR.HasAttr(a) {
@@ -196,8 +204,35 @@ func AntiJoin(l, rR *Relation) *Relation {
 		present[key(t)] = true
 	}
 	out := NewRelation(l.attrs...)
-	for _, t := range l.Tuples() {
-		if !present[key(t)] {
+	left := l.Tuples()
+	if workers > len(left) {
+		workers = len(left)
+	}
+	if workers <= 1 || len(left) < joinParallelCutoff {
+		for _, t := range left {
+			if !present[key(t)] {
+				out.Insert(t)
+			}
+		}
+		return out
+	}
+	parts := make([][]value.Tuple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(left)/workers, (w+1)*len(left)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, t := range left[lo:hi] {
+				if !present[key(t)] {
+					parts[w] = append(parts[w], t)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		for _, t := range part {
 			out.Insert(t)
 		}
 	}

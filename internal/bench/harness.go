@@ -65,8 +65,14 @@ type AlgresTC struct {
 	Semi    bool
 }
 
-// NewAlgresTC compiles the closure rules to algebra.
+// NewAlgresTC compiles the closure rules to algebra (serial joins).
 func NewAlgresTC(edges []Edge, semiNaive bool) (*AlgresTC, error) {
+	return NewAlgresTCWorkers(edges, semiNaive, 1)
+}
+
+// NewAlgresTCWorkers compiles the closure rules to algebra with every
+// join/anti-join running on the given worker count.
+func NewAlgresTCWorkers(edges []Edge, semiNaive bool, joinWorkers int) (*AlgresTC, error) {
 	rules, err := parser.ParseProgram(`
 tc(src: X, dst: Y) <- edge(src: X, dst: Y).
 tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
@@ -74,10 +80,10 @@ tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
 	if err != nil {
 		return nil, err
 	}
-	rp, err := algres.CompileRules(map[string][]string{
+	rp, err := algres.CompileRulesOpts(map[string][]string{
 		"edge": {"src", "dst"},
 		"tc":   {"src", "dst"},
-	}, rules)
+	}, rules, algres.Opts{JoinWorkers: joinWorkers})
 	if err != nil {
 		return nil, err
 	}

@@ -32,11 +32,17 @@ type Options struct {
 	// zero value) means runtime.GOMAXPROCS(0). Results are bit-identical
 	// for every worker count.
 	Workers int
+	// Shards is the number of FactSet shards parallel evaluation
+	// partitions the current extension and deltas into; worker deltas are
+	// merged with one goroutine per shard. Values ≤ 0 (including the zero
+	// value) mean runtime.GOMAXPROCS(0); 1 keeps the serial merge. Results
+	// are bit-identical for every shard count.
+	Shards int
 }
 
 // DefaultOptions returns the standard evaluation options.
 func DefaultOptions() Options {
-	return Options{MaxSteps: 100000, SemiNaive: true, Stratify: true, Workers: runtime.GOMAXPROCS(0)}
+	return Options{MaxSteps: 100000, SemiNaive: true, Stratify: true, Workers: runtime.GOMAXPROCS(0), Shards: runtime.GOMAXPROCS(0)}
 }
 
 // Program is a compiled rule set, ready to evaluate.
@@ -75,6 +81,18 @@ func (p *Program) SetWorkers(n int) {
 // Workers returns the effective evaluation worker count.
 func (p *Program) Workers() int { return p.opts.Workers }
 
+// SetShards overrides the FactSet shard count used by parallel evaluation
+// (values ≤ 0 restore the runtime.GOMAXPROCS(0) default).
+func (p *Program) SetShards(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.opts.Shards = n
+}
+
+// Shards returns the effective FactSet shard count.
+func (p *Program) Shards() int { return p.opts.Shards }
+
 // Compile analyses a rule set against a schema: it resolves predicates and
 // labels, orders rule bodies, checks the safety requirements of §3.1 and
 // the oid-unification legality conditions, determines invention, generates
@@ -86,6 +104,9 @@ func Compile(schema *types.Schema, rules []*ast.Rule, opts Options) (*Program, e
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
 	}
 	p := &Program{schema: schema, opts: opts}
 	all := append([]*ast.Rule{}, rules...)

@@ -674,7 +674,16 @@ func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet
 		if step >= p.opts.MaxSteps {
 			return nil, fmt.Errorf("engine: no fixpoint within %d steps (the inflationary semantics does not guarantee termination)", p.opts.MaxSteps)
 		}
-		next, changed, err := p.oneStep(rules, f, counter)
+		var (
+			next    *FactSet
+			changed bool
+			err     error
+		)
+		if p.opts.Workers > 1 {
+			next, changed, err = p.oneStepParallel(rules, f, counter)
+		} else {
+			next, changed, err = p.oneStep(rules, f, counter)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel application of the general one-step operator. Non-eligible
+// strata — deletions, oid invention, class heads — cannot use semi-naive
+// deltas, but their matching passes are still pure reads of the step's fact
+// set: rules only write through instantiateHead. The parallel operator
+// therefore freezes f, fans the per-rule (chunked) matching passes across
+// the worker pool, and splits instantiation:
+//
+//   - rules whose heads are pure additions of value-level facts (positive
+//     association/function heads of non-inventive rules) instantiate
+//     directly into private Δ+ sets, merged in task order;
+//   - rules that may invent oids, overwrite o-values (class heads), or
+//     delete (negated heads) only record their matched valuations; the
+//     valuations are replayed serially in task order against the shared
+//     oid counter and Δ sets, replicating the serial effect order exactly.
+//
+// Matching enumerates frozen extensions in key order either way and all
+// head instantiations read only f (never Δ+/Δ−), so the step result —
+// including invented oid numbering — is bit-identical to oneStep.
+
+// osTask is one parallel matching pass: one rule and optionally a chunk of
+// the facts its first body literal ranges over.
+type osTask struct {
+	rule    *crule
+	chunk   []Fact
+	chunked bool
+	pure    bool
+}
+
+// osResult is what one task produced: a private Δ+ (pure tasks) or the
+// matched valuations in enumeration order (effectful tasks).
+type osResult struct {
+	dplus *FactSet
+	envs  []*env
+	stats *Stats
+}
+
+// pureHead reports whether a rule's head instantiation is a pure addition
+// of value-level facts: no deletion, no oid invention, and no class head
+// (class heads may overwrite o-values through ⊕ or fall into invention when
+// the source oid is nil, so they are sequenced).
+func pureHead(r *crule) bool {
+	return r.head != nil && !r.head.negated && !r.inventive &&
+		(r.head.kind == hAssoc || r.head.kind == hFunc)
+}
+
+// oneStepTasks builds the matching passes of one parallel step in rule
+// order (chunks in extension order), so walking tasks in order replicates
+// the serial valuation order.
+func oneStepTasks(rules []*crule, f *FactSet, workers int) []osTask {
+	var tasks []osTask
+	for _, r := range rules {
+		pure := pureHead(r)
+		if l0, ok := chunkableFirst(r); ok {
+			facts := f.Facts(l0.pred)
+			for _, b := range chunkBounds(len(facts), workers) {
+				tasks = append(tasks, osTask{rule: r, chunk: facts[b[0]:b[1]], chunked: true, pure: pure})
+			}
+			continue
+		}
+		tasks = append(tasks, osTask{rule: r, pure: pure})
+	}
+	return tasks
+}
+
+// runOSTask evaluates one matching pass. The context's fact set must be
+// frozen. Pure tasks instantiate into a private Δ+; effectful tasks record
+// the valuations for serial replay (head instantiation reads only f, so
+// recording then replaying yields the same effects as instantiating
+// in-line).
+func (c *evalCtx) runOSTask(t osTask, res *osResult) error {
+	r := t.rule
+	var yield func(*env) error
+	if t.pure {
+		res.dplus = NewFactSet()
+		dminus := NewFactSet() // defensively unused: pure heads never delete
+		yield = func(e *env) error {
+			return c.instantiateHead(r, e, res.dplus, dminus)
+		}
+	} else {
+		yield = func(e *env) error {
+			res.envs = append(res.envs, e)
+			return nil
+		}
+	}
+	if !t.chunked {
+		return c.matchBody(r.body, 0, newEnv(), yield)
+	}
+	for _, fact := range t.chunk {
+		e := newEnv()
+		ok, err := c.matchFact(r.body[0], fact, e)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := c.matchBody(r.body, 1, e, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// oneStepParallel is oneStep with the matching passes on the worker pool;
+// the result is bit-identical to the serial operator.
+func (p *Program) oneStepParallel(rules []*crule, f *FactSet, counter *int64) (*FactSet, bool, error) {
+	workers := p.opts.Workers
+	wasFrozen := f.Frozen()
+	if !wasFrozen {
+		f.FreezeParallel(workers)
+	}
+	thaw := func() {
+		if !wasFrozen {
+			f.Thaw()
+		}
+	}
+
+	// Pre-build the shared active domain when any negation enumerates it,
+	// so the tasks don't each rebuild it privately.
+	var ad *activeDomain
+	for _, r := range rules {
+		for _, l := range r.body {
+			if l.negated && len(l.adVars) > 0 {
+				ad = buildActiveDomain(p.schema, f)
+				break
+			}
+		}
+		if ad != nil {
+			break
+		}
+	}
+
+	tasks := oneStepTasks(rules, f, workers)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]osResult, len(tasks))
+	errs := make([]error, len(tasks))
+	base := *counter
+	var nextTask int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&nextTask, 1)
+				if i >= int64(len(tasks)) {
+					return
+				}
+				t := tasks[i]
+				var st *Stats
+				if t.pure && p.stats != nil {
+					st = newStats()
+				}
+				localCounter := base
+				c := &evalCtx{p: p, f: f, ad: ad, counter: &localCounter, deltaIdx: -1, stats: st}
+				if err := c.runOSTask(t, &results[i]); err != nil {
+					errs[i] = fmt.Errorf("%v (in rule %s)", err, t.rule)
+				}
+				results[i].stats = st
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range tasks {
+		if errs[i] != nil {
+			thaw()
+			return nil, false, errs[i]
+		}
+	}
+
+	// Sequence the effects in task order: pure Δ+ sets merge as blocks
+	// (value-level facts — no ⊕ interference with the class facts the
+	// replayed rules add); recorded valuations replay against the shared
+	// counter with the per-rule valuation-domain dedup spanning all chunks,
+	// exactly as the serial operator's wrapped yield does.
+	dplus, dminus := NewFactSet(), NewFactSet()
+	cseq := &evalCtx{p: p, f: f, ad: ad, counter: counter, deltaIdx: -1, stats: p.stats}
+	seen := map[int]map[string]bool{}
+	for i, t := range tasks {
+		if t.pure {
+			res := results[i]
+			dplus.Merge(res.dplus)
+			if res.stats != nil && p.stats != nil {
+				for id, n := range res.stats.Firings {
+					p.stats.Firings[id] += n
+				}
+			}
+			continue
+		}
+		r := t.rule
+		for _, e := range results[i].envs {
+			if r.inventive {
+				sm := seen[r.id]
+				if sm == nil {
+					sm = map[string]bool{}
+					seen[r.id] = sm
+				}
+				k := e.key(r.vars)
+				if sm[k] {
+					continue
+				}
+				sm[k] = true
+			}
+			if err := cseq.instantiateHead(r, e, dplus, dminus); err != nil {
+				thaw()
+				return nil, false, fmt.Errorf("%v (in rule %s)", err, r)
+			}
+		}
+	}
+
+	if dplus.TotalSize() == 0 && dminus.TotalSize() == 0 {
+		thaw()
+		return f, false, nil
+	}
+	// keep = F ∩ Δ+ ∩ Δ−: facts both re-derived and deleted in this step
+	// that were already present survive.
+	keep := NewFactSet()
+	for _, pr := range dminus.Preds() {
+		for _, fact := range dminus.Facts(pr) {
+			if f.Has(fact) && dplus.Has(fact) {
+				keep.Add(fact)
+			}
+		}
+	}
+	next := f.Clone()
+	next.Merge(dplus)
+	for _, pr := range dminus.Preds() {
+		for _, fact := range dminus.Facts(pr) {
+			next.Remove(fact)
+		}
+	}
+	next.Merge(keep)
+	changed := !next.Equal(f)
+	thaw()
+	return next, changed, nil
+}

@@ -230,6 +230,47 @@ func TestFactSetIncrementalCache(t *testing.T) {
 	if fs.Size("edge") != 158 {
 		t.Fatalf("size = %d, want 158", fs.Size("edge"))
 	}
+
+	// Clone must carry the caches copy-on-write: reads and incremental
+	// writes on the clone stay rebuild-free, and the source is untouched.
+	cl := fs.Clone()
+	if len(cl.Facts("edge")) != fs.Size("edge") {
+		t.Fatal("clone lost facts")
+	}
+	cl.Add(edgeFact(500, 501))
+	if got := cl.FactsByComponent("edge", "src", value.Int(500)); len(got) != 1 {
+		t.Fatalf("clone bucket size %d after add, want 1", len(got))
+	}
+	if cl.rebuilds != 0 {
+		t.Fatalf("reads on a clone rebuilt the cache %d times, want 0", cl.rebuilds)
+	}
+	if fs.Has(edgeFact(500, 501)) {
+		t.Fatal("clone mutation leaked into the source")
+	}
+	if got := fs.FactsByComponent("edge", "src", value.Int(500)); len(got) != 0 {
+		t.Fatalf("source bucket sees clone's fact: %v", got)
+	}
+	if fs.rebuilds != base {
+		t.Fatalf("cloning rebuilt the source cache %d times, want 0", fs.rebuilds-base)
+	}
+
+	// Compose and Minus clone internally; their results must keep the
+	// caches too (the pre-PR Clone dropped all predCache state, costing an
+	// O(n log n) rebuild per predicate on first read).
+	small := NewFactSet()
+	small.Add(edgeFact(600, 601))
+	comp := fs.Compose(small)
+	if got := comp.FactsByComponent("edge", "src", value.Int(600)); len(got) != 1 {
+		t.Fatalf("compose bucket size %d, want 1", len(got))
+	}
+	if comp.rebuilds != 0 {
+		t.Fatalf("Compose result rebuilt the cache %d times, want 0", comp.rebuilds)
+	}
+	min := fs.Minus(small)
+	_ = min.Facts("edge")
+	if min.rebuilds != 0 {
+		t.Fatalf("Minus result rebuilt the cache %d times, want 0", min.rebuilds)
+	}
 }
 
 // Facts() must stay in strict key order on an unfrozen set even after

@@ -44,23 +44,28 @@ func chunkableFirst(r *crule) (resolvedLit, bool) {
 	return resolvedLit{}, false
 }
 
-// appendChunked splits facts into a few chunks per worker and appends one
-// task per non-empty chunk.
-func appendChunked(tasks []snTask, r *crule, deltaPos int, facts []Fact, workers int) []snTask {
-	n := len(facts)
-	if n == 0 {
-		return tasks
-	}
+// chunkBounds returns the [lo, hi) ranges that split n items into a few
+// chunks per worker (empty ranges omitted).
+func chunkBounds(n, workers int) [][2]int {
 	k := 4 * workers
 	if k > n {
 		k = n
 	}
+	bounds := make([][2]int, 0, k)
 	for i := 0; i < k; i++ {
 		lo, hi := i*n/k, (i+1)*n/k
-		if lo == hi {
-			continue
+		if lo < hi {
+			bounds = append(bounds, [2]int{lo, hi})
 		}
-		tasks = append(tasks, snTask{rule: r, deltaPos: deltaPos, chunk: facts[lo:hi], chunked: true})
+	}
+	return bounds
+}
+
+// appendChunked splits facts into a few chunks per worker and appends one
+// task per non-empty chunk.
+func appendChunked(tasks []snTask, r *crule, deltaPos int, facts []Fact, workers int) []snTask {
+	for _, b := range chunkBounds(len(facts), workers) {
+		tasks = append(tasks, snTask{rule: r, deltaPos: deltaPos, chunk: facts[b[0]:b[1]], chunked: true})
 	}
 	return tasks
 }
@@ -145,8 +150,10 @@ func (c *evalCtx) runSNTask(t snTask, out *FactSet) error {
 }
 
 // runSNTasks runs the tasks on the worker pool and merges the private
-// deltas (and per-task stats) in task order.
-func (p *Program) runSNTasks(tasks []snTask, cur, delta *FactSet, counter *int64) (*FactSet, error) {
+// deltas (and per-task stats) in task order; the merge fans one goroutine
+// per FactSet shard (Options.Shards) and stays bit-identical to the serial
+// task-order merge.
+func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, counter *int64) (*FactSet, error) {
 	workers := p.opts.Workers
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -167,7 +174,7 @@ func (p *Program) runSNTasks(tasks []snTask, cur, delta *FactSet, counter *int64
 					return
 				}
 				t := tasks[i]
-				out := NewFactSet()
+				out := NewFactSetShards(p.opts.Shards)
 				var st *Stats
 				if p.stats != nil {
 					st = newStats()
@@ -183,7 +190,6 @@ func (p *Program) runSNTasks(tasks []snTask, cur, delta *FactSet, counter *int64
 	}
 	wg.Wait()
 
-	merged := NewFactSet()
 	for i := range tasks {
 		if errs[i] != nil {
 			return nil, errs[i]
@@ -198,8 +204,9 @@ func (p *Program) runSNTasks(tasks []snTask, cur, delta *FactSet, counter *int64
 				}
 			}
 		}
-		merged.Merge(results[i])
 	}
+	merged := NewFactSetShards(p.opts.Shards)
+	p.recordMerge(round, merged.MergeOrdered(results))
 	return merged, nil
 }
 
@@ -209,13 +216,14 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 	workers := p.opts.Workers
 	if p.stats != nil {
 		p.stats.Workers = workers
+		p.stats.Shards = p.opts.Shards
 	}
-	cur := f.Clone()
-	cur.Freeze()
+	cur := f.CloneShards(p.opts.Shards)
+	cur.FreezeParallel(workers)
 
 	start := time.Now()
 	tasks := round0Tasks(stratum, cur, workers)
-	delta, err := p.runSNTasks(tasks, cur, nil, counter)
+	delta, err := p.runSNTasks(0, tasks, cur, nil, counter)
 	if err != nil {
 		cur.Thaw()
 		return nil, err
@@ -232,11 +240,11 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 		}
 		start := time.Now()
 		cur.Thaw()
-		cur.Merge(delta)
-		cur.Freeze()
-		delta.Freeze()
+		p.recordMerge(round+1, cur.MergeOrdered([]*FactSet{delta}))
+		cur.FreezeParallel(workers)
+		delta.FreezeParallel(workers)
 		tasks := deltaTasks(stratum, cur, delta, workers)
-		next, err := p.runSNTasks(tasks, cur, delta, counter)
+		next, err := p.runSNTasks(round+1, tasks, cur, delta, counter)
 		if err != nil {
 			cur.Thaw()
 			return nil, err
@@ -254,4 +262,17 @@ func (p *Program) recordRound(round, tasks int, d time.Duration) {
 		return
 	}
 	p.stats.RoundTimings = append(p.stats.RoundTimings, RoundTiming{Round: round, Tasks: tasks, Duration: d})
+}
+
+// recordMerge appends the per-shard timing record of one ordered delta
+// merge to the stats (single-shard serial merges are skipped).
+func (p *Program) recordMerge(round int, ms MergeStats) {
+	if p.stats == nil || len(ms.ShardDurations) == 0 {
+		return
+	}
+	p.stats.MergeTimings = append(p.stats.MergeTimings, MergeTiming{
+		Round:          round,
+		Shards:         ms.Shards,
+		ShardDurations: ms.ShardDurations,
+	})
 }

@@ -25,9 +25,15 @@ type Stats struct {
 	Invented int
 	// Workers is the worker count the evaluation ran with (1 = serial).
 	Workers int
+	// Shards is the FactSet shard count parallel evaluation partitioned
+	// the extension into (1 = unsharded serial merge).
+	Shards int
 	// RoundTimings records the wall-clock duration and task count of each
 	// parallel semi-naive round (empty for serial evaluations).
 	RoundTimings []RoundTiming
+	// MergeTimings records the per-shard wall-clock of each parallel
+	// ordered delta merge (empty for serial or single-shard evaluations).
+	MergeTimings []MergeTiming
 }
 
 // RoundTiming is the timing record of one parallel semi-naive round.
@@ -39,6 +45,18 @@ type RoundTiming struct {
 	Tasks int
 	// Duration is the round's wall-clock time, task generation included.
 	Duration time.Duration
+}
+
+// MergeTiming is the timing record of one parallel ordered delta merge:
+// how long each shard goroutine spent applying its partition.
+type MergeTiming struct {
+	// Round is the semi-naive round the merge belongs to (0 = round 0's
+	// task-result merge).
+	Round int
+	// Shards is the merge fan-out.
+	Shards int
+	// ShardDurations is the per-shard wall-clock, indexed by shard.
+	ShardDurations []time.Duration
 }
 
 func newStats() *Stats { return &Stats{Firings: map[int]int{}} }
@@ -88,6 +106,9 @@ func (p *Program) Explain() string {
 		if st.Workers > 0 {
 			fmt.Fprintf(&b, "workers: %d\n", st.Workers)
 		}
+		if st.Shards > 1 {
+			fmt.Fprintf(&b, "shards: %d\n", st.Shards)
+		}
 		if len(st.RoundTimings) > 0 {
 			var total time.Duration
 			var tasks int
@@ -97,6 +118,19 @@ func (p *Program) Explain() string {
 			}
 			fmt.Fprintf(&b, "  parallel semi-naive: %d rounds, %d tasks, %s total\n",
 				len(st.RoundTimings), tasks, total)
+		}
+		if len(st.MergeTimings) > 0 {
+			var longest, sum time.Duration
+			for _, mt := range st.MergeTimings {
+				for _, d := range mt.ShardDurations {
+					sum += d
+					if d > longest {
+						longest = d
+					}
+				}
+			}
+			fmt.Fprintf(&b, "  sharded merges: %d merges × %d shards, %s critical path, %s aggregate\n",
+				len(st.MergeTimings), st.Shards, longest, sum)
 		}
 		var ids []int
 		for id := range st.Firings {

@@ -94,6 +94,14 @@ func WithWorkers(n int) Option {
 	return func(db *Database) { db.opts.Workers = n }
 }
 
+// WithShards sets the number of partitions parallel evaluation splits the
+// fact set into, so worker deltas merge concurrently — one goroutine per
+// shard (n <= 0 selects GOMAXPROCS, 1 keeps the serial merge). Results
+// are bit-identical for any shard count.
+func WithShards(n int) Option {
+	return func(db *Database) { db.opts.Shards = n }
+}
+
 // Database is a LOGRES database: a state (E, R, S) evolved by module
 // applications. All methods are safe for concurrent use: read-only
 // methods (Query, Instance, Count, Save, …) share an RWMutex read lock
