@@ -14,45 +14,82 @@
 //	-save file      save a snapshot after applying all modules
 //	-q goal         evaluate a goal (e.g. '?- person(name: X).') at the end
 //	-dump           print the final instance
-//	-max-steps n    fixpoint step bound
+//	-max-steps n    fixpoint round bound
+//	-max-facts n    bound on facts derived per evaluation
+//	-max-oids n     bound on oids invented per evaluation
+//	-deadline d     wall-clock bound per evaluation (e.g. 30s)
+//	-i              start an interactive REPL after applying the modules
+//
+// Ctrl-C cancels the in-flight evaluation: non-interactive runs exit
+// non-zero with the database file untouched; the REPL returns to its
+// prompt with the in-memory database unchanged.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"logres"
 )
 
+// config collects the command-line configuration of one run.
+type config struct {
+	schemaPath  string
+	loadPath    string
+	savePath    string
+	goal        string
+	dump        bool
+	interactive bool
+	budget      logres.Budget
+	moduleFiles []string
+}
+
 func main() {
-	var (
-		schemaPath  = flag.String("schema", "", "schema file (type equations only)")
-		loadPath    = flag.String("load", "", "load a snapshot instead of opening a schema")
-		savePath    = flag.String("save", "", "save a snapshot after applying all modules")
-		goal        = flag.String("q", "", "goal to evaluate at the end")
-		dump        = flag.Bool("dump", false, "print the final instance")
-		maxSteps    = flag.Int("max-steps", 0, "fixpoint step bound (0 = default)")
-		interactive = flag.Bool("i", false, "start an interactive REPL after applying the modules")
-	)
+	var cfg config
+	flag.StringVar(&cfg.schemaPath, "schema", "", "schema file (type equations only)")
+	flag.StringVar(&cfg.loadPath, "load", "", "load a snapshot instead of opening a schema")
+	flag.StringVar(&cfg.savePath, "save", "", "save a snapshot after applying all modules")
+	flag.StringVar(&cfg.goal, "q", "", "goal to evaluate at the end")
+	flag.BoolVar(&cfg.dump, "dump", false, "print the final instance")
+	flag.IntVar(&cfg.budget.MaxRounds, "max-steps", 0, "fixpoint round bound (0 = default)")
+	flag.IntVar(&cfg.budget.MaxFacts, "max-facts", 0, "bound on facts derived per evaluation (0 = unlimited)")
+	flag.IntVar(&cfg.budget.MaxOIDs, "max-oids", 0, "bound on oids invented per evaluation (0 = unlimited)")
+	flag.DurationVar(&cfg.budget.Timeout, "deadline", 0, "wall-clock bound per evaluation (0 = unlimited)")
+	flag.BoolVar(&cfg.interactive, "i", false, "start an interactive REPL after applying the modules")
 	flag.Parse()
-	if err := run(*schemaPath, *loadPath, *savePath, *goal, *dump, *interactive, *maxSteps, flag.Args()); err != nil {
+	cfg.moduleFiles = flag.Args()
+
+	// Ctrl-C (or SIGTERM) cancels the in-flight evaluation; module
+	// application is all-or-nothing, so the database is never left
+	// half-updated. The REPL installs its own per-evaluation handler so an
+	// interrupt returns to the prompt instead of exiting.
+	ctx := context.Background()
+	if !cfg.interactive {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "logres:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemaPath, loadPath, savePath, goal string, dump, interactive bool, maxSteps int, moduleFiles []string) error {
+func run(ctx context.Context, cfg config) error {
 	var opts []logres.Option
-	if maxSteps > 0 {
-		opts = append(opts, logres.WithMaxSteps(maxSteps))
+	if cfg.budget != (logres.Budget{}) {
+		opts = append(opts, logres.WithBudget(cfg.budget))
 	}
 
 	var db *logres.Database
 	switch {
-	case loadPath != "":
-		f, err := os.Open(loadPath)
+	case cfg.loadPath != "":
+		f, err := os.Open(cfg.loadPath)
 		if err != nil {
 			return err
 		}
@@ -62,26 +99,26 @@ func run(schemaPath, loadPath, savePath, goal string, dump, interactive bool, ma
 			return err
 		}
 		db = loaded
-	case schemaPath != "":
-		src, err := os.ReadFile(schemaPath)
+	case cfg.schemaPath != "":
+		src, err := os.ReadFile(cfg.schemaPath)
 		if err != nil {
 			return err
 		}
 		opened, err := logres.Open(string(src), opts...)
 		if err != nil {
-			return fmt.Errorf("%s: %w", schemaPath, err)
+			return fmt.Errorf("%s: %w", cfg.schemaPath, err)
 		}
 		db = opened
 	default:
 		return fmt.Errorf("one of -schema or -load is required")
 	}
 
-	for _, path := range moduleFiles {
+	for _, path := range cfg.moduleFiles {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		res, err := db.Exec(string(src))
+		res, err := db.ExecContext(ctx, string(src))
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -91,27 +128,27 @@ func run(schemaPath, loadPath, savePath, goal string, dump, interactive bool, ma
 		}
 	}
 
-	if goal != "" {
-		ans, err := db.Query(goal)
+	if cfg.goal != "" {
+		ans, err := db.QueryContext(ctx, cfg.goal)
 		if err != nil {
 			return err
 		}
 		printAnswer(ans)
 	}
-	if dump {
+	if cfg.dump {
 		out, err := db.InstanceString()
 		if err != nil {
 			return err
 		}
 		fmt.Print(out)
 	}
-	if interactive {
+	if cfg.interactive {
 		if err := repl(db, os.Stdin, os.Stdout); err != nil {
 			return err
 		}
 	}
-	if savePath != "" {
-		f, err := os.Create(savePath)
+	if cfg.savePath != "" {
+		f, err := os.Create(cfg.savePath)
 		if err != nil {
 			return err
 		}
@@ -119,7 +156,7 @@ func run(schemaPath, loadPath, savePath, goal string, dump, interactive bool, ma
 		if err := db.Save(f); err != nil {
 			return err
 		}
-		fmt.Printf("saved snapshot to %s\n", savePath)
+		fmt.Printf("saved snapshot to %s\n", cfg.savePath)
 	}
 	return nil
 }

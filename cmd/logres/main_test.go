@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"logres"
 )
@@ -44,34 +47,88 @@ rules
 end.
 `)
 	snap := filepath.Join(dir, "snap.bin")
-	if err := run(schema, "", snap, `?- anc(anc: "a", des: X).`, false, false, 0, []string{load, rules}); err != nil {
+	cfg := config{schemaPath: schema, savePath: snap, goal: `?- anc(anc: "a", des: X).`,
+		moduleFiles: []string{load, rules}}
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	// Reload from the snapshot.
-	if err := run("", snap, "", `?- anc(des: X).`, true, false, 0, nil); err != nil {
+	if err := run(context.Background(), config{loadPath: snap, goal: `?- anc(des: X).`, dump: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("", "", "", "", false, false, 0, nil); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, config{}); err == nil {
 		t.Fatal("missing schema accepted")
 	}
 	bad := writeFile(t, dir, "bad.lgr", "classes C = (x: NOPE);")
-	if err := run(bad, "", "", "", false, false, 0, nil); err == nil {
+	if err := run(ctx, config{schemaPath: bad}); err == nil {
 		t.Fatal("invalid schema accepted")
 	}
 	schema := writeFile(t, dir, "schema.lgr", testSchema)
 	badMod := writeFile(t, dir, "badmod.lgr", "rules nosuch(x: 1). end.")
-	if err := run(schema, "", "", "", false, false, 0, []string{badMod}); err == nil {
+	if err := run(ctx, config{schemaPath: schema, moduleFiles: []string{badMod}}); err == nil {
 		t.Fatal("bad module accepted")
 	}
-	if err := run(schema, "", "", "?- nosuch(x: X).", false, false, 0, nil); err == nil {
+	if err := run(ctx, config{schemaPath: schema, goal: "?- nosuch(x: X)."}); err == nil {
 		t.Fatal("bad goal accepted")
 	}
-	if err := run("", filepath.Join(dir, "missing.bin"), "", "", false, false, 0, nil); err == nil {
+	if err := run(ctx, config{loadPath: filepath.Join(dir, "missing.bin")}); err == nil {
 		t.Fatal("missing snapshot accepted")
+	}
+}
+
+const divergentSchema = `
+classes C = (v: integer);
+associations SEED = (k: integer);
+`
+
+const divergentSrc = `
+mode ridv.
+rules
+  seed(k: 1).
+  c(self: S, v: 0) <- seed(k: 1).
+  c(self: S, v: Y) <- c(v: X), Y = X + 1.
+end.
+`
+
+// A non-interactive run of a divergent module under a budget flag must
+// fail with the typed abort error (main turns that into a non-zero
+// exit), and the snapshot file must never be written.
+func TestRunBudgetAbort(t *testing.T) {
+	dir := t.TempDir()
+	schema := writeFile(t, dir, "schema.lgr", divergentSchema)
+	mod := writeFile(t, dir, "mod.lgr", divergentSrc)
+	snap := filepath.Join(dir, "snap.bin")
+	cfg := config{schemaPath: schema, savePath: snap, moduleFiles: []string{mod}}
+	cfg.budget = logres.Budget{Timeout: 30 * time.Millisecond}
+	err := run(context.Background(), cfg)
+	var be *logres.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v (%T), want *logres.BudgetError", err, err)
+	}
+	if be.Axis != logres.AxisDeadline {
+		t.Fatalf("axis = %q, want deadline", be.Axis)
+	}
+	if _, statErr := os.Stat(snap); statErr == nil {
+		t.Fatal("snapshot written despite aborted run")
+	}
+}
+
+// A canceled context (what Ctrl-C produces through signal.NotifyContext)
+// aborts the run with a typed cancellation error.
+func TestRunCancellation(t *testing.T) {
+	dir := t.TempDir()
+	schema := writeFile(t, dir, "schema.lgr", divergentSchema)
+	mod := writeFile(t, dir, "mod.lgr", divergentSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, config{schemaPath: schema, moduleFiles: []string{mod}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
@@ -152,6 +209,33 @@ func TestREPLSaveAndGoalErrors(t *testing.T) {
 	}
 	if _, err := os.Stat(snap); err != nil {
 		t.Fatal("snapshot not written")
+	}
+}
+
+// An interrupt delivered during a REPL evaluation cancels it: the error
+// prints as an interruption and the database answers queries afterwards.
+func TestREPLInterrupt(t *testing.T) {
+	db, err := logres.Open(divergentSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt // pending interrupt, delivered once evaluation starts
+	evalErr := withInterrupt(sig, func(ctx context.Context) error {
+		_, err := db.ExecContext(ctx, divergentSrc)
+		return err
+	})
+	if !errors.Is(evalErr, context.Canceled) {
+		t.Fatalf("evaluation not canceled: %v", evalErr)
+	}
+	var out bytes.Buffer
+	printEvalError(&out, evalErr)
+	if !strings.Contains(out.String(), "interrupted (database unchanged)") {
+		t.Fatalf("interrupt message = %q", out.String())
+	}
+	// The database is still usable.
+	if _, err := db.Query(`?- seed(k: X).`); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"logres"
@@ -23,6 +26,12 @@ import (
 //	.save FILE / .load FILE    snapshot I/O
 //	.help / .quit
 func repl(db *logres.Database, in io.Reader, out io.Writer) error {
+	// Ctrl-C during an evaluation cancels it and returns to the prompt;
+	// module application is all-or-nothing, so the database is unchanged.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -40,7 +49,7 @@ func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 		trimmed := strings.TrimSpace(line)
 		switch {
 		case buf.Len() == 0 && strings.HasPrefix(trimmed, "."):
-			if done := replCommand(db, trimmed, out, &registering); done {
+			if done := replCommand(db, trimmed, out, &registering, sig); done {
 				return nil
 			}
 			prompt()
@@ -49,9 +58,14 @@ func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 			prompt()
 			continue
 		case buf.Len() == 0 && strings.HasPrefix(trimmed, "?-"):
-			ans, err := db.Query(trimmed)
+			var ans *logres.Answer
+			err := withInterrupt(sig, func(ctx context.Context) error {
+				var err error
+				ans, err = db.QueryContext(ctx, trimmed)
+				return err
+			})
 			if err != nil {
-				fmt.Fprintln(out, "error:", err)
+				printEvalError(out, err)
 			} else {
 				writeAnswer(out, ans)
 			}
@@ -70,12 +84,20 @@ func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 				} else {
 					fmt.Fprintln(out, "registered")
 				}
-			} else if res, err := db.Exec(src); err != nil {
-				fmt.Fprintln(out, "error:", err)
 			} else {
-				fmt.Fprintf(out, "applied (%s)\n", res.Mode)
-				if res.Answer != nil {
-					writeAnswer(out, res.Answer)
+				var res *logres.Result
+				err := withInterrupt(sig, func(ctx context.Context) error {
+					var err error
+					res, err = db.ExecContext(ctx, src)
+					return err
+				})
+				if err != nil {
+					printEvalError(out, err)
+				} else {
+					fmt.Fprintf(out, "applied (%s)\n", res.Mode)
+					if res.Answer != nil {
+						writeAnswer(out, res.Answer)
+					}
 				}
 			}
 		}
@@ -84,9 +106,37 @@ func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 	return scanner.Err()
 }
 
+// withInterrupt runs one evaluation under a context canceled by the next
+// interrupt signal; the watcher goroutine is released when fn returns.
+func withInterrupt(sig <-chan os.Signal, fn func(ctx context.Context) error) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-done:
+		}
+	}()
+	return fn(ctx)
+}
+
+// printEvalError distinguishes an interrupt (the evaluation was canceled,
+// the database is untouched) from an ordinary evaluation error.
+func printEvalError(out io.Writer, err error) {
+	var ce *logres.CanceledError
+	if errors.As(err, &ce) {
+		fmt.Fprintln(out, "interrupted (database unchanged):", err)
+		return
+	}
+	fmt.Fprintln(out, "error:", err)
+}
+
 // replCommand executes a dot command; it reports whether the REPL should
 // exit.
-func replCommand(db *logres.Database, cmd string, out io.Writer, registering *bool) bool {
+func replCommand(db *logres.Database, cmd string, out io.Writer, registering *bool, sig <-chan os.Signal) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
@@ -122,9 +172,14 @@ func replCommand(db *logres.Database, cmd string, out io.Writer, registering *bo
 			fmt.Fprintln(out, "usage: .call NAME")
 			break
 		}
-		res, err := db.Call(fields[1])
+		var res *logres.Result
+		err := withInterrupt(sig, func(ctx context.Context) error {
+			var err error
+			res, err = db.CallContext(ctx, fields[1])
+			return err
+		})
 		if err != nil {
-			fmt.Fprintln(out, "error:", err)
+			printEvalError(out, err)
 			break
 		}
 		fmt.Fprintf(out, "applied %s (%s)\n", fields[1], res.Mode)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // End-to-end robustness: random mutations of valid schema+module sources
@@ -82,6 +83,11 @@ func mutate(r *rand.Rand, src string) string {
 	return string(b)
 }
 
+// fuzzBudget bounds every fuzzed evaluation along all four axes, so a
+// mutation that produces a legal divergent program (oid invention,
+// counting recursion) fails bounded instead of hanging the fuzzer.
+var fuzzBudget = Budget{MaxRounds: 200, MaxFacts: 20000, MaxOIDs: 1000, Timeout: 2 * time.Second}
+
 func TestPipelineNeverPanics(t *testing.T) {
 	f := func(seed int64) (ok bool) {
 		defer func() {
@@ -99,7 +105,7 @@ func TestPipelineNeverPanics(t *testing.T) {
 		} else {
 			modSrc = mutate(r, modSrc)
 		}
-		db, err := Open(schemaSrc, WithMaxSteps(200))
+		db, err := Open(schemaSrc, WithBudget(fuzzBudget))
 		if err != nil {
 			return true
 		}
@@ -115,6 +121,52 @@ func TestPipelineNeverPanics(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzPipeline is the native fuzz target over (schema, module) source
+// pairs: the full pipeline runs under fuzzBudget and must neither panic
+// nor mutate the database on a failed application. The corpus seeds
+// include a legal divergent module, so the guardrails themselves are on
+// the fuzzed path from generation zero.
+func FuzzPipeline(f *testing.F) {
+	for _, s := range fuzzSchemas {
+		for _, m := range fuzzModules {
+			f.Add(s, m)
+		}
+	}
+	// A divergent counting module against the EDGE/TC schema: only the
+	// budget stops it.
+	f.Add(fuzzSchemas[1], `
+mode ridv.
+rules
+  tc(src: 0, dst: 0).
+  tc(src: X, dst: Y) <- tc(src: X, dst: W), Y = W + 1.
+end.
+`)
+	f.Fuzz(func(t *testing.T, schemaSrc, modSrc string) {
+		db, err := Open(schemaSrc, WithBudget(fuzzBudget))
+		if err != nil {
+			return
+		}
+		var before strings.Builder
+		if err := db.Save(&sb2{&before}); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		if _, err := db.Exec(modSrc); err != nil {
+			// A failed application (parse error, rejection, or budget
+			// abort) must leave the database bit-identical.
+			var after strings.Builder
+			if err := db.Save(&sb2{&after}); err != nil {
+				t.Fatalf("save after abort: %v", err)
+			}
+			if before.String() != after.String() {
+				t.Fatalf("failed application mutated the database")
+			}
+			return
+		}
+		_, _ = db.Query(`?- parent(par: X).`)
+		_, _ = db.InstanceString()
+	})
 }
 
 // sb2 adapts strings.Builder to io.Writer without importing io in tests.

@@ -1,0 +1,204 @@
+package logres
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Guardrail tests through the public API: every budget axis aborts a
+// divergent module application with a typed error, and the database
+// snapshot stays bit-identical to its pre-application state.
+
+const guardSchema = `
+classes C = (v: integer);
+associations
+  SEED = (k: integer);
+  N = (v: integer);
+`
+
+// A divergent RIDV update: every round derives a new count and invents
+// a fresh oid for it, so all four budget axes have something to exhaust
+// inside the same diverging stratum.
+const divergentModule = `
+mode ridv.
+rules
+  c(self: S, v: 0) <- seed(k: 1).
+  c(self: S, v: Y) <- c(v: X), Y = X + 1.
+end.
+`
+
+func snapshot(t *testing.T, db *Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openGuarded opens a database over guardSchema with one seed fact.
+func openGuarded(t *testing.T, options ...Option) *Database {
+	t.Helper()
+	db, err := Open(guardSchema, options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("mode ridv.\nrules\n  seed(k: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// Every budget axis must abort the divergent module with a *BudgetError
+// and leave the saved snapshot bit-identical, on the serial and parallel
+// evaluators alike.
+func TestBudgetAbortLeavesDatabaseUntouched(t *testing.T) {
+	cases := []struct {
+		name   string
+		budget Budget
+		axis   Axis
+	}{
+		{"rounds", Budget{MaxRounds: 25}, AxisRounds},
+		{"facts", Budget{MaxFacts: 60}, AxisFacts},
+		{"oids", Budget{MaxOIDs: 20}, AxisOIDs},
+		{"deadline", Budget{Timeout: 25 * time.Millisecond}, AxisDeadline},
+	}
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 4} {
+			for _, c := range cases {
+				t.Run(fmt.Sprintf("%s/workers=%d/shards=%d", c.name, workers, shards), func(t *testing.T) {
+					db := openGuarded(t, WithBudget(c.budget), WithWorkers(workers), WithShards(shards))
+					before := snapshot(t, db)
+					_, err := db.Exec(divergentModule)
+					var be *BudgetError
+					if !errors.As(err, &be) {
+						t.Fatalf("err = %v (%T), want *BudgetError", err, err)
+					}
+					if be.Axis != c.axis {
+						t.Fatalf("axis = %q, want %q", be.Axis, c.axis)
+					}
+					after := snapshot(t, db)
+					if !bytes.Equal(before, after) {
+						t.Fatalf("aborted application mutated the database:\nbefore: %s\nafter:  %s", before, after)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Cancellation via WithContext and via the per-call *Context methods
+// must abort with a *CanceledError unwrapping to the context cause, DB
+// untouched.
+func TestCancellationLeavesDatabaseUntouched(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	t.Run("WithContext", func(t *testing.T) {
+		db := openGuarded(t)
+		before := snapshot(t, db)
+		dbCtx, err := Load(bytes.NewReader(before), WithContext(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = dbCtx.Exec(divergentModule)
+		var ce *CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %v (%T), want *CanceledError", err, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err does not unwrap to context.Canceled: %v", err)
+		}
+	})
+
+	t.Run("ExecContext", func(t *testing.T) {
+		db := openGuarded(t)
+		before := snapshot(t, db)
+		_, err := db.ExecContext(ctx, divergentModule)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ExecContext ignored cancellation: %v", err)
+		}
+		if after := snapshot(t, db); !bytes.Equal(before, after) {
+			t.Fatal("canceled ExecContext mutated the database")
+		}
+	})
+
+	t.Run("QueryContext", func(t *testing.T) {
+		db := openGuarded(t)
+		_, err := db.QueryContext(ctx, `?- seed(k: X).`)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("QueryContext ignored cancellation: %v", err)
+		}
+	})
+
+	t.Run("CallContext", func(t *testing.T) {
+		db := openGuarded(t)
+		if err := db.Register("module diverge.\n" + divergentModule); err != nil {
+			t.Fatal(err)
+		}
+		before := snapshot(t, db)
+		_, err := db.CallContext(ctx, "diverge")
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("CallContext ignored cancellation: %v", err)
+		}
+		if after := snapshot(t, db); !bytes.Equal(before, after) {
+			t.Fatal("canceled CallContext mutated the database")
+		}
+	})
+}
+
+// A cancellation mid-evaluation (not pre-canceled) must also abort and
+// leave the database untouched.
+func TestMidEvaluationCancellation(t *testing.T) {
+	db := openGuarded(t)
+	before := snapshot(t, db)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := db.ExecContext(ctx, divergentModule)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err does not unwrap to context.DeadlineExceeded: %v", err)
+	}
+	if after := snapshot(t, db); !bytes.Equal(before, after) {
+		t.Fatal("deadline-aborted evaluation mutated the database")
+	}
+}
+
+// A budget abort must not poison the database: the same handle keeps
+// answering queries and accepting convergent updates afterwards.
+func TestDatabaseUsableAfterAbort(t *testing.T) {
+	db := openGuarded(t, WithBudget(Budget{MaxRounds: 25}))
+	if _, err := db.Exec(divergentModule); err == nil {
+		t.Fatal("divergent module converged")
+	}
+	ans, err := db.Query(`?- seed(k: X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 {
+		t.Fatalf("query after abort returned %d rows, want 1", len(ans.Rows))
+	}
+	if _, err := db.Exec("mode ridv.\nrules\n  seed(k: 2).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The abort error message names the axis and the location so a user can
+// tell which bound fired and where.
+func TestAbortErrorMessage(t *testing.T) {
+	db := openGuarded(t, WithBudget(Budget{MaxFacts: 60}))
+	_, err := db.Exec(divergentModule)
+	if err == nil {
+		t.Fatal("divergent module converged")
+	}
+	msg := err.Error()
+	for _, want := range []string{"fact budget exhausted", "facts derived"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+}

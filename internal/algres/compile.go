@@ -345,11 +345,12 @@ func atomRelation(src *Relation, atom bodyAtom) (*Relation, error) {
 // EvalNaive computes the program's least fixpoint by naive iteration
 // through the closure operator.
 func (rp *RuleProgram) EvalNaive(db *DB, maxSteps int) (*DB, error) {
-	if maxSteps <= 0 {
-		maxSteps = rp.opts.MaxSteps
+	o := rp.opts
+	if maxSteps > 0 {
+		o.MaxSteps = maxSteps
 	}
 	rp.ensureIDB(db)
-	return Fixpoint(db, func(cur *DB) (map[string]*Relation, error) {
+	return FixpointOpts(db, func(cur *DB) (map[string]*Relation, error) {
 		updates := map[string]*Relation{}
 		for _, ar := range rp.rules {
 			rel, err := rp.evalRule(cur, ar, "", nil)
@@ -367,7 +368,7 @@ func (rp *RuleProgram) EvalNaive(db *DB, maxSteps int) (*DB, error) {
 			}
 		}
 		return updates, nil
-	}, maxSteps)
+	}, o)
 }
 
 // EvalSemiNaive computes the same fixpoint with delta iteration.
@@ -378,6 +379,7 @@ func (rp *RuleProgram) EvalSemiNaive(db *DB, maxSteps int) (*DB, error) {
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}
+	g := newRoundGuard(rp.opts)
 	cur := db.Clone()
 	rp.ensureIDB(cur)
 
@@ -402,7 +404,10 @@ func (rp *RuleProgram) EvalSemiNaive(db *DB, maxSteps int) (*DB, error) {
 	}
 	for round := 0; ; round++ {
 		if round >= maxSteps {
-			return nil, fmt.Errorf("algres: semi-naive did not converge within %d rounds", maxSteps)
+			return nil, g.rounds(maxSteps, "semi-naive iteration did not converge")
+		}
+		if err := g.check(round); err != nil {
+			return nil, err
 		}
 		total := 0
 		for _, d := range deltas {
@@ -415,7 +420,9 @@ func (rp *RuleProgram) EvalSemiNaive(db *DB, maxSteps int) (*DB, error) {
 		for pred, d := range deltas {
 			dst, _ := cur.Get(pred)
 			for _, t := range d.Tuples() {
-				dst.Insert(t)
+				if dst.Insert(t) {
+					g.inserted++
+				}
 			}
 		}
 		next := map[string]*Relation{}

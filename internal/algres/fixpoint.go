@@ -1,6 +1,12 @@
 package algres
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"logres/internal/guard"
+)
 
 // The liberal closure operator. ALGRES exposes a fixpoint construct whose
 // body is an arbitrary algebra expression over the database; the paper
@@ -11,7 +17,7 @@ import "fmt"
 // convergence.
 
 // Opts configures closure evaluation. The zero value is the serial
-// default.
+// unbounded default.
 type Opts struct {
 	// MaxSteps bounds fixpoint iteration (0 = the package default, 1e6).
 	MaxSteps int
@@ -19,6 +25,56 @@ type Opts struct {
 	// anti-join (≤ 1 = serial). Results are identical for any value — the
 	// parallel operators merge partition buffers in order.
 	JoinWorkers int
+	// Ctx cancels the closure between rounds; aborts surface as
+	// *guard.CanceledError. nil means no cancellation.
+	Ctx context.Context
+	// MaxFacts bounds the tuples inserted across all rounds
+	// (0 = unlimited); exhaustion surfaces as *guard.BudgetError.
+	MaxFacts int
+	// Timeout bounds the closure's wall-clock time (0 = unlimited); the
+	// deadline is armed when the closure starts.
+	Timeout time.Duration
+}
+
+// roundGuard is the per-closure guardrail state shared by Fixpoint and
+// the semi-naive compiler loop; checks run at round granularity, so the
+// zero-budget fast path costs one branch per round.
+type roundGuard struct {
+	ctx      context.Context
+	deadline time.Time
+	maxFacts int
+	timeout  time.Duration
+	inserted int
+}
+
+func newRoundGuard(opts Opts) *roundGuard {
+	g := &roundGuard{ctx: opts.Ctx, maxFacts: opts.MaxFacts, timeout: opts.Timeout}
+	if opts.Timeout > 0 {
+		g.deadline = time.Now().Add(opts.Timeout)
+	}
+	return g
+}
+
+// check enforces cancellation, deadline, and the fact budget at the top
+// of round i. Closures have no strata, so aborts attribute stratum -1.
+func (g *roundGuard) check(i int) error {
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return &guard.CanceledError{Stratum: -1, Round: i, Facts: g.inserted, Err: err}
+		}
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		return &guard.BudgetError{Axis: guard.AxisDeadline, Limit: int64(g.timeout), Stratum: -1, Round: i, Facts: g.inserted}
+	}
+	if g.maxFacts > 0 && g.inserted > g.maxFacts {
+		return &guard.BudgetError{Axis: guard.AxisFacts, Limit: int64(g.maxFacts), Stratum: -1, Round: i, Facts: g.inserted}
+	}
+	return nil
+}
+
+// rounds builds the rounds-axis abort error.
+func (g *roundGuard) rounds(limit int, detail string) *guard.BudgetError {
+	return &guard.BudgetError{Axis: guard.AxisRounds, Limit: int64(limit), Stratum: -1, Round: limit, Facts: g.inserted, Detail: detail}
 }
 
 // StepFunc computes one closure step: given the current database it
@@ -31,14 +87,20 @@ func Fixpoint(db *DB, step StepFunc, maxSteps int) (*DB, error) {
 	return FixpointOpts(db, step, Opts{MaxSteps: maxSteps})
 }
 
-// FixpointOpts is Fixpoint configured by an options struct.
+// FixpointOpts is Fixpoint configured by an options struct; the context
+// and budget axes are checked between rounds and surface as the same
+// typed errors the rule engine produces.
 func FixpointOpts(db *DB, step StepFunc, opts Opts) (*DB, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}
+	g := newRoundGuard(opts)
 	cur := db.Clone()
 	for i := 0; i < maxSteps; i++ {
+		if err := g.check(i); err != nil {
+			return nil, err
+		}
 		updates, err := step(cur)
 		if err != nil {
 			return nil, err
@@ -53,6 +115,7 @@ func FixpointOpts(db *DB, step StepFunc, opts Opts) (*DB, error) {
 			for _, t := range add.Tuples() {
 				if dst.Insert(t) {
 					changed = true
+					g.inserted++
 				}
 			}
 		}
@@ -60,7 +123,7 @@ func FixpointOpts(db *DB, step StepFunc, opts Opts) (*DB, error) {
 			return cur, nil
 		}
 	}
-	return nil, fmt.Errorf("algres: fixpoint did not converge within %d steps", maxSteps)
+	return nil, g.rounds(maxSteps, "the closure did not converge")
 }
 
 // TransitiveClosure is the classic closure instance: given a binary
@@ -70,7 +133,8 @@ func TransitiveClosure(edges *Relation, from, to string) (*Relation, error) {
 }
 
 // TransitiveClosureOpts is TransitiveClosure with the step's join running
-// on opts.JoinWorkers workers.
+// on opts.JoinWorkers workers and the closure under opts' context and
+// budget.
 func TransitiveClosureOpts(edges *Relation, from, to string, opts Opts) (*Relation, error) {
 	if !edges.HasAttr(from) || !edges.HasAttr(to) {
 		return nil, fmt.Errorf("algres: closure: missing attributes %q/%q", from, to)

@@ -1,0 +1,140 @@
+package algres
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"logres/internal/guard"
+	"logres/internal/parser"
+	"logres/internal/value"
+)
+
+// Guardrail tests for the closure operator: the same typed abort errors
+// the rule engine produces must surface from algebra-level fixpoints.
+
+// countStep is a divergent closure body: each round derives n+1 from n.
+func countStep(cur *DB) (map[string]*Relation, error) {
+	n, _ := cur.Get("n")
+	out := NewRelation("n")
+	for _, t := range n.Tuples() {
+		v, _ := t.Get("n")
+		out.InsertValues(value.Int(int64(v.(value.Int)) + 1))
+	}
+	return map[string]*Relation{"n": out}, nil
+}
+
+func countDB() *DB {
+	db := NewDB()
+	r := NewRelation("n")
+	r.InsertValues(value.Int(0))
+	db.Set("n", r)
+	return db
+}
+
+func TestFixpointFactBudget(t *testing.T) {
+	_, err := FixpointOpts(countDB(), countStep, Opts{MaxFacts: 30})
+	var be *guard.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v (%T), want *guard.BudgetError", err, err)
+	}
+	if be.Axis != guard.AxisFacts {
+		t.Fatalf("axis = %q, want facts", be.Axis)
+	}
+	if be.Facts <= 30 {
+		t.Fatalf("Facts = %d, want > 30", be.Facts)
+	}
+}
+
+func TestFixpointDeadline(t *testing.T) {
+	_, err := FixpointOpts(countDB(), countStep, Opts{Timeout: 10 * time.Millisecond})
+	var be *guard.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v (%T), want *guard.BudgetError", err, err)
+	}
+	if be.Axis != guard.AxisDeadline {
+		t.Fatalf("axis = %q, want deadline", be.Axis)
+	}
+}
+
+func TestFixpointCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := FixpointOpts(countDB(), countStep, Opts{Ctx: ctx})
+	var ce *guard.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *guard.CanceledError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err does not unwrap to context.Canceled: %v", err)
+	}
+}
+
+func TestFixpointRoundsIsBudgetError(t *testing.T) {
+	_, err := Fixpoint(countDB(), countStep, 10)
+	var be *guard.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v (%T), want *guard.BudgetError", err, err)
+	}
+	if be.Axis != guard.AxisRounds || be.Limit != 10 {
+		t.Fatalf("BudgetError = %+v, want rounds axis with limit 10", be)
+	}
+}
+
+// The compiled-rule evaluators must observe the same budget opts. The
+// algebra compiler has no arithmetic, so divergence is simulated with a
+// closure whose work (a 60-node chain, ~1800 tc tuples, ~60 rounds)
+// overruns every axis long before convergence.
+func TestEvalSemiNaiveBudget(t *testing.T) {
+	rules, err := parser.ParseProgram(`
+tc(a: X, b: Y) <- edge(a: X, b: Y).
+tc(a: X, b: Z) <- tc(a: X, b: Y), edge(a: Y, b: Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas := map[string][]string{"edge": {"a", "b"}, "tc": {"a", "b"}}
+	chain := func() *DB {
+		db := NewDB()
+		e := NewRelation("a", "b")
+		for i := int64(0); i < 60; i++ {
+			e.InsertValues(value.Int(i), value.Int(i+1))
+		}
+		db.Set("edge", e)
+		return db
+	}
+	for _, tc := range []struct {
+		name string
+		opts Opts
+		axis guard.Axis
+	}{
+		{"facts", Opts{MaxFacts: 25}, guard.AxisFacts},
+		{"deadline", Opts{Timeout: time.Nanosecond}, guard.AxisDeadline},
+		{"rounds", Opts{MaxSteps: 15}, guard.AxisRounds},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rp, err := CompileRulesOpts(schemas, rules, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = rp.EvalSemiNaive(chain(), 0)
+			var be *guard.BudgetError
+			if !errors.As(err, &be) {
+				t.Fatalf("err = %v (%T), want *guard.BudgetError", err, err)
+			}
+			if be.Axis != tc.axis {
+				t.Fatalf("axis = %q, want %q", be.Axis, tc.axis)
+			}
+		})
+	}
+}
+
+func TestTransitiveClosureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TransitiveClosureOpts(edgeRel([2]int64{1, 2}, [2]int64{2, 3}), "src", "dst", Opts{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("closure ignored cancellation: %v", err)
+	}
+}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
 	"logres/internal/ast"
+	"logres/internal/guard"
 	"logres/internal/types"
 )
 
@@ -13,7 +15,16 @@ type Options struct {
 	// MaxSteps bounds the number of one-step applications per fixpoint;
 	// the paper's semantics does not guarantee termination (Appendix B),
 	// so runaway programs are reported as errors. 0 means the default.
+	// Budget.MaxRounds, when set, takes precedence.
 	MaxSteps int
+	// Budget bounds evaluation resources (rounds, derived facts,
+	// invented oids, wall-clock); exhausting an axis aborts with a
+	// *BudgetError. The zero value applies only the MaxSteps bound.
+	Budget Budget
+	// Ctx cancels evaluation between fixpoint rounds; aborts surface as
+	// *CanceledError and leave the caller's state untouched. nil means
+	// context.Background(). Program.RunContext overrides it per call.
+	Ctx context.Context
 	// SemiNaive enables delta iteration on eligible strata.
 	SemiNaive bool
 	// Stratify enables perfect-model evaluation (inflationary semantics
@@ -55,6 +66,7 @@ type Program struct {
 	strata     [][]*crule
 	stratified bool
 	stats      *Stats
+	guard      *guard.Guard
 }
 
 // Schema returns the schema the program was compiled against.
@@ -99,6 +111,9 @@ func (p *Program) Shards() int { return p.opts.Shards }
 // the active isa-propagation constraints from the type equations, and
 // computes the stratification.
 func Compile(schema *types.Schema, rules []*ast.Rule, opts Options) (*Program, error) {
+	if opts.Budget.MaxRounds > 0 {
+		opts.MaxSteps = opts.Budget.MaxRounds
+	}
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = DefaultOptions().MaxSteps
 	}

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"logres/internal/ast"
+	"logres/internal/guard"
 	"logres/internal/instance"
 	"logres/internal/value"
 )
@@ -671,8 +673,8 @@ func (p *Program) oneStep(rules []*crule, f *FactSet, counter *int64) (*FactSet,
 // fixpoint iterates oneStep to convergence.
 func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet, error) {
 	for step := 0; ; step++ {
-		if step >= p.opts.MaxSteps {
-			return nil, fmt.Errorf("engine: no fixpoint within %d steps (the inflationary semantics does not guarantee termination)", p.opts.MaxSteps)
+		if err := p.checkRound(step, f, "the inflationary semantics does not guarantee termination"); err != nil {
+			return nil, err
 		}
 		var (
 			next    *FactSet
@@ -680,7 +682,7 @@ func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet
 			err     error
 		)
 		if p.opts.Workers > 1 {
-			next, changed, err = p.oneStepParallel(rules, f, counter)
+			next, changed, err = p.oneStepParallel(step, rules, f, counter)
 		} else {
 			next, changed, err = p.oneStep(rules, f, counter)
 		}
@@ -700,19 +702,47 @@ func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet
 // Run evaluates the program over the extensional fact set under the
 // deterministic inflationary semantics, stratum by stratum when the
 // program is stratified. counter is the oid-invention counter (advanced in
-// place).
+// place). Cancellation comes from Options.Ctx; RunContext overrides it.
 func (p *Program) Run(f0 *FactSet, counter *int64) (*FactSet, error) {
+	return p.RunContext(p.opts.Ctx, f0, counter)
+}
+
+// RunContext is Run under an explicit cancellation context: the context
+// and the Options.Budget axes are checked between fixpoint rounds, and
+// an abort surfaces as *CanceledError / *BudgetError attributing the
+// stratum, round, and resource counts. The input fact set is never
+// mutated, so an aborted evaluation leaves the caller's state intact.
+func (p *Program) RunContext(ctx context.Context, f0 *FactSet, counter *int64) (*FactSet, error) {
 	p.stats = newStats()
 	p.stats.Strata = len(p.strata)
 	p.stats.Workers = p.opts.Workers
+	p.guard = guard.New(ctx, p.opts.Budget, f0.TotalSize())
+	f, err := p.runGuarded(f0, counter)
+	if err != nil {
+		p.stats.recordAbort(err)
+	}
+	return f, err
+}
+
+func (p *Program) runGuarded(f0 *FactSet, counter *int64) (*FactSet, error) {
+	// An upfront check so a canceled context or exceeded deadline aborts
+	// even a run with no strata (a rule-free program never reaches a
+	// per-round check).
+	if g := p.guard; g.Active() {
+		if err := g.Check(0, f0.TotalSize, 0); err != nil {
+			return nil, err
+		}
+	}
 	if p.opts.NonInflationary {
+		p.guard.SetStratum(-1)
 		return p.runNoninflationary(f0, counter)
 	}
 	if m := int64(f0.MaxOID()); m > *counter {
 		*counter = m
 	}
 	f := f0.Clone()
-	for _, stratum := range p.strata {
+	for i, stratum := range p.strata {
+		p.guard.SetStratum(i)
 		var err error
 		if p.opts.SemiNaive && stratumSemiNaiveEligible(stratum) {
 			p.stats.SemiNaiveStrata++

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"logres/internal/guard"
+)
+
+// Budget bounds an evaluation along four axes: fixpoint rounds, facts
+// derived beyond the initial extension, invented oids, and wall-clock
+// time. The zero value imposes only the Options.MaxSteps round bound.
+type Budget = guard.Budget
+
+// BudgetError reports that an evaluation exhausted one budget axis,
+// carrying the stratum, round, and resource counts at the abort.
+type BudgetError = guard.BudgetError
+
+// CanceledError reports a context cancellation; it unwraps to
+// context.Canceled / context.DeadlineExceeded.
+type CanceledError = guard.CanceledError
+
+// PanicError reports a panic converted into an error by a panic-safe
+// evaluation boundary.
+type PanicError = guard.PanicError
+
+// Axis names one budget dimension in a *BudgetError.
+type Axis = guard.Axis
+
+// The budget axes a *BudgetError names.
+const (
+	AxisRounds   = guard.AxisRounds
+	AxisFacts    = guard.AxisFacts
+	AxisOIDs     = guard.AxisOIDs
+	AxisDeadline = guard.AxisDeadline
+)
+
+// inactiveGuard backs evaluation paths that run outside Run (Query,
+// CheckDenials): a guard with no context and no budget.
+var inactiveGuard = guard.New(context.Background(), Budget{}, 0)
+
+// curGuard returns the run's guard (never nil).
+func (p *Program) curGuard() *guard.Guard {
+	if p.guard == nil {
+		return inactiveGuard
+	}
+	return p.guard
+}
+
+func (p *Program) invented() int {
+	if p.stats != nil {
+		return p.stats.Invented
+	}
+	return 0
+}
+
+// checkRound enforces the guard between fixpoint rounds: the rounds
+// bound always, the cancellation/deadline/fact/oid axes only when a
+// context or budget is armed — one extra branch per round on the serial
+// fast path. detail is the caller's semantics note for the rounds axis.
+func (p *Program) checkRound(round int, cur *FactSet, detail string) error {
+	g := p.curGuard()
+	if round >= p.opts.MaxSteps {
+		return g.RoundsExceeded(round, p.opts.MaxSteps, cur.TotalSize(), p.invented(), detail)
+	}
+	if !g.Active() {
+		return nil
+	}
+	return g.Check(round, cur.TotalSize, p.invented())
+}
+
+// testWorkerPanic, when non-nil, runs at the start of every worker-pool
+// task — the panic-injection hook the guardrail tests use to poison a
+// rule body inside a worker.
+var testWorkerPanic func(r *crule)
+
+// runShielded executes one worker task with panic recovery: a panic
+// becomes a *PanicError and aborts the guard so sibling workers stop
+// claiming tasks promptly instead of deadlocking the ordered merge.
+// Ordinary errors abort siblings too — the evaluation fails either way.
+func (p *Program) runShielded(r *crule, task func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.curGuard().Abort()
+			err = &PanicError{Value: rec, Stack: debug.Stack(), Context: fmt.Sprintf("rule %s", r)}
+		}
+	}()
+	if hook := testWorkerPanic; hook != nil {
+		hook(r)
+	}
+	if err := task(); err != nil {
+		p.curGuard().Abort()
+		return fmt.Errorf("%v (in rule %s)", err, r)
+	}
+	return nil
+}

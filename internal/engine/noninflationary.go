@@ -66,8 +66,8 @@ func (p *Program) runNoninflationary(e *FactSet, counter *int64) (*FactSet, erro
 		rules = append(rules, stratum...)
 	}
 	for step := 0; ; step++ {
-		if step >= p.opts.MaxSteps {
-			return nil, fmt.Errorf("engine: non-inflationary semantics undefined: no fixpoint within %d steps", p.opts.MaxSteps)
+		if err := p.checkRound(step, f, "the non-inflationary semantics is undefined when no fixpoint is reached"); err != nil {
+			return nil, err
 		}
 		next, changed, err := p.oneStepNoninf(rules, e, f, counter)
 		if err != nil {

@@ -110,8 +110,9 @@ func (c *evalCtx) runOSTask(t osTask, res *osResult) error {
 }
 
 // oneStepParallel is oneStep with the matching passes on the worker pool;
-// the result is bit-identical to the serial operator.
-func (p *Program) oneStepParallel(rules []*crule, f *FactSet, counter *int64) (*FactSet, bool, error) {
+// the result is bit-identical to the serial operator. step is the fixpoint
+// round, used only to attribute aborts.
+func (p *Program) oneStepParallel(step int, rules []*crule, f *FactSet, counter *int64) (*FactSet, bool, error) {
 	workers := p.opts.Workers
 	wasFrozen := f.Frozen()
 	if !wasFrozen {
@@ -145,6 +146,7 @@ func (p *Program) oneStepParallel(rules []*crule, f *FactSet, counter *int64) (*
 	results := make([]osResult, len(tasks))
 	errs := make([]error, len(tasks))
 	base := *counter
+	g := p.curGuard()
 	var nextTask int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -153,7 +155,7 @@ func (p *Program) oneStepParallel(rules []*crule, f *FactSet, counter *int64) (*
 			defer wg.Done()
 			for {
 				i := atomic.AddInt64(&nextTask, 1)
-				if i >= int64(len(tasks)) {
+				if i >= int64(len(tasks)) || g.TaskAborted() {
 					return
 				}
 				t := tasks[i]
@@ -163,9 +165,7 @@ func (p *Program) oneStepParallel(rules []*crule, f *FactSet, counter *int64) (*
 				}
 				localCounter := base
 				c := &evalCtx{p: p, f: f, ad: ad, counter: &localCounter, deltaIdx: -1, stats: st}
-				if err := c.runOSTask(t, &results[i]); err != nil {
-					errs[i] = fmt.Errorf("%v (in rule %s)", err, t.rule)
-				}
+				errs[i] = p.runShielded(t.rule, func() error { return c.runOSTask(t, &results[i]) })
 				results[i].stats = st
 			}
 		}()
@@ -175,6 +175,14 @@ func (p *Program) oneStepParallel(rules []*crule, f *FactSet, counter *int64) (*
 		if errs[i] != nil {
 			thaw()
 			return nil, false, errs[i]
+		}
+	}
+	if g.TaskAborted() {
+		// Cancellation stopped workers mid-step without a task error;
+		// surface it rather than sequencing a partial valuation set.
+		if err := g.Check(step, f.TotalSize, p.invented()); err != nil {
+			thaw()
+			return nil, false, err
 		}
 	}
 

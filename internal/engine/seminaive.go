@@ -73,8 +73,8 @@ func (p *Program) semiNaiveSerial(stratum []*crule, f *FactSet, counter *int64) 
 		}
 	}
 	for round := 0; delta.TotalSize() > 0; round++ {
-		if round >= p.opts.MaxSteps {
-			return nil, fmt.Errorf("engine: no fixpoint within %d semi-naive rounds", p.opts.MaxSteps)
+		if err := p.checkRound(round, cur, "semi-naive delta iteration"); err != nil {
+			return nil, err
 		}
 		if p.stats != nil {
 			p.stats.Steps++

@@ -162,6 +162,7 @@ func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, cou
 	taskStats := make([]*Stats, len(tasks))
 	errs := make([]error, len(tasks))
 	base := *counter
+	g := p.curGuard()
 	var nextTask int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -170,7 +171,7 @@ func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, cou
 			defer wg.Done()
 			for {
 				i := atomic.AddInt64(&nextTask, 1)
-				if i >= int64(len(tasks)) {
+				if i >= int64(len(tasks)) || g.TaskAborted() {
 					return
 				}
 				t := tasks[i]
@@ -181,9 +182,7 @@ func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, cou
 				}
 				localCounter := base
 				c := &evalCtx{p: p, f: cur, counter: &localCounter, deltaIdx: -1, delta: delta, stats: st}
-				if err := c.runSNTask(t, out); err != nil {
-					errs[i] = fmt.Errorf("%v (in rule %s)", err, t.rule)
-				}
+				errs[i] = p.runShielded(t.rule, func() error { return c.runSNTask(t, out) })
 				results[i], taskStats[i] = out, st
 			}
 		}()
@@ -203,6 +202,13 @@ func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, cou
 					p.stats.Firings[id] += n
 				}
 			}
+		}
+	}
+	if g.TaskAborted() {
+		// Cancellation stopped workers mid-round without a task error;
+		// surface it rather than merging a partial task set.
+		if err := g.Check(round, cur.TotalSize, p.invented()); err != nil {
+			return nil, err
 		}
 	}
 	merged := NewFactSetShards(p.opts.Shards)
@@ -231,9 +237,9 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 	p.recordRound(0, len(tasks), time.Since(start))
 
 	for round := 0; delta.TotalSize() > 0; round++ {
-		if round >= p.opts.MaxSteps {
+		if err := p.checkRound(round, cur, "semi-naive delta iteration"); err != nil {
 			cur.Thaw()
-			return nil, fmt.Errorf("engine: no fixpoint within %d semi-naive rounds", p.opts.MaxSteps)
+			return nil, err
 		}
 		if p.stats != nil {
 			p.stats.Steps++

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,6 +35,32 @@ type Stats struct {
 	// MergeTimings records the per-shard wall-clock of each parallel
 	// ordered delta merge (empty for serial or single-shard evaluations).
 	MergeTimings []MergeTiming
+	// Abort is "" when the run reached a fixpoint; otherwise the abort
+	// class: an exhausted budget axis ("rounds", "facts", "oids",
+	// "deadline"), "canceled", "panic", or "error".
+	Abort string
+	// AbortStratum/AbortRound locate the abort (stratum -1 when strata
+	// do not apply). Meaningful only when Abort is non-empty.
+	AbortStratum, AbortRound int
+}
+
+// recordAbort classifies the error a run returned.
+func (st *Stats) recordAbort(err error) {
+	var be *BudgetError
+	var ce *CanceledError
+	var pe *PanicError
+	switch {
+	case errors.As(err, &be):
+		st.Abort = string(be.Axis)
+		st.AbortStratum, st.AbortRound = be.Stratum, be.Round
+	case errors.As(err, &ce):
+		st.Abort = "canceled"
+		st.AbortStratum, st.AbortRound = ce.Stratum, ce.Round
+	case errors.As(err, &pe):
+		st.Abort = "panic"
+	default:
+		st.Abort = "error"
+	}
 }
 
 // RoundTiming is the timing record of one parallel semi-naive round.
@@ -103,6 +130,9 @@ func (p *Program) Explain() string {
 	}
 	if st := p.stats; st != nil {
 		fmt.Fprintf(&b, "last run: %d steps, %d oids invented\n", st.Steps, st.Invented)
+		if st.Abort != "" {
+			fmt.Fprintf(&b, "  aborted (%s) at stratum %d, round %d\n", st.Abort, st.AbortStratum, st.AbortRound)
+		}
 		if st.Workers > 0 {
 			fmt.Fprintf(&b, "workers: %d\n", st.Workers)
 		}

@@ -6,9 +6,11 @@ package module
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"logres/internal/ast"
 	"logres/internal/engine"
+	"logres/internal/guard"
 	"logres/internal/instance"
 	"logres/internal/types"
 )
@@ -52,7 +54,8 @@ func (st *State) Clone() *State {
 // inflationary semantics. It verifies Definition 4 consistency and the
 // passive constraints; an inconsistent instance is an error (the mapping
 // M is partial, §4.1).
-func (st *State) Instance(opts engine.Options) (*engine.FactSet, *instance.Instance, error) {
+func (st *State) Instance(opts engine.Options) (_ *engine.FactSet, _ *instance.Instance, err error) {
+	defer shieldPanic(&err)
 	prog, err := engine.Compile(st.S, st.R, opts)
 	if err != nil {
 		return nil, nil, err
@@ -89,7 +92,11 @@ type Result struct {
 // (inconsistent new instance) the error describes the violation and the
 // original state remains valid. mode overrides the module's declared
 // default; pass m.Mode (or use ApplyDeclared) to honour the declaration.
-func Apply(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (*Result, error) {
+func Apply(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (_ *Result, err error) {
+	// Application is all-or-nothing: every mode works on a clone of st, so
+	// on any abort — budget, cancellation, or a panic converted here — the
+	// caller's state is bit-identical to its pre-application snapshot.
+	defer shieldPanic(&err)
 	if !mode.HasGoal() && len(m.Goal) > 0 {
 		return nil, fmt.Errorf("module: mode %s does not admit a goal (§4.1)", mode)
 	}
@@ -257,6 +264,15 @@ func applyDataVariant(st *State, m *ast.Module, opts engine.Options, mode ast.Mo
 		return nil, fmt.Errorf("module: rejected: %w", err)
 	}
 	return &Result{State: next, Instance: in}, nil
+}
+
+// shieldPanic converts an evaluation panic into a *guard.PanicError so a
+// poisoned rule can never take down the process or leave a half-applied
+// state; the clone discipline of Apply makes the abort side-effect-free.
+func shieldPanic(err *error) {
+	if rec := recover(); rec != nil {
+		*err = &guard.PanicError{Value: rec, Stack: debug.Stack()}
+	}
 }
 
 // subtractRules removes rules structurally equal to any of sub.

@@ -17,6 +17,7 @@
 package logres
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -58,13 +59,65 @@ type Value = value.Value
 // Fact is one ground fact of the database instance.
 type Fact = engine.Fact
 
+// Budget bounds every evaluation the database runs, along four axes:
+// fixpoint rounds, facts derived beyond the extensional base, invented
+// oids, and wall-clock time (armed when each evaluation starts). A zero
+// axis is unbounded. Exhausting an axis aborts the evaluation with a
+// *BudgetError and leaves the database state untouched.
+type Budget = engine.Budget
+
+// BudgetError is the typed abort error of an exhausted budget axis; it
+// names the axis and carries the stratum, round, and resource counts at
+// the abort. Retrieve it with errors.As.
+type BudgetError = engine.BudgetError
+
+// CanceledError is the typed abort error of a context cancellation; it
+// unwraps to context.Canceled / context.DeadlineExceeded.
+type CanceledError = engine.CanceledError
+
+// PanicError is the typed error a recovered evaluation panic surfaces
+// as; the database state is unchanged.
+type PanicError = engine.PanicError
+
+// Axis names one budget dimension in a BudgetError.
+type Axis = engine.Axis
+
+// The budget axes a BudgetError can name.
+const (
+	AxisRounds   = engine.AxisRounds
+	AxisFacts    = engine.AxisFacts
+	AxisOIDs     = engine.AxisOIDs
+	AxisDeadline = engine.AxisDeadline
+)
+
 // Option configures a Database.
 type Option func(*Database)
 
 // WithMaxSteps bounds the number of one-step applications per fixpoint
 // (the inflationary semantics does not guarantee termination).
+//
+// Deprecated: WithMaxSteps is a view onto Budget.MaxRounds; prefer
+// WithBudget, which also bounds facts, invented oids, and wall-clock
+// time. Both overflow with the same typed *BudgetError.
 func WithMaxSteps(n int) Option {
-	return func(db *Database) { db.opts.MaxSteps = n }
+	return func(db *Database) {
+		db.opts.MaxSteps = n
+		db.opts.Budget.MaxRounds = n
+	}
+}
+
+// WithBudget bounds every evaluation the database runs; aborts surface
+// as *BudgetError and never mutate the database.
+func WithBudget(b Budget) Option {
+	return func(db *Database) { db.opts.Budget = b }
+}
+
+// WithContext attaches a cancellation context to every evaluation the
+// database runs; cancellation aborts between fixpoint rounds with a
+// *CanceledError, state untouched. The *Context methods override it per
+// call.
+func WithContext(ctx context.Context) Option {
+	return func(db *Database) { db.opts.Ctx = ctx }
 }
 
 // WithSemiNaive toggles the semi-naive optimization (default on).
@@ -165,21 +218,35 @@ type Result struct {
 
 // Exec parses and applies a module with its declared mode (RIDI when none
 // is declared). On success the database state advances; on rejection
-// (inconsistent result, §4.1) the state is unchanged and the error
-// describes the violation.
+// (inconsistent result, §4.1) or any abort (budget, cancellation, panic)
+// the state is unchanged and the error describes the violation.
 func (db *Database) Exec(src string) (*Result, error) {
+	return db.ExecContext(db.ctx(), src)
+}
+
+// ExecContext is Exec under an explicit cancellation context: canceling
+// aborts the in-flight evaluation with a *CanceledError and the database
+// state stays bit-identical to its pre-application snapshot.
+func (db *Database) ExecContext(ctx context.Context, src string) (*Result, error) {
 	m, err := parser.ParseModule(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.Apply(m, m.Mode)
+	return db.ApplyContext(ctx, m, m.Mode)
 }
 
 // Apply applies a parsed module with an explicit mode.
 func (db *Database) Apply(m *Module, mode Mode) (*Result, error) {
+	return db.ApplyContext(db.ctx(), m, mode)
+}
+
+// ApplyContext is Apply under an explicit cancellation context.
+func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	res, err := module.Apply(db.st, m, mode, db.opts)
+	opts := db.opts
+	opts.Ctx = ctx
+	res, err := module.Apply(db.st, m, mode, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +257,11 @@ func (db *Database) Apply(m *Module, mode Mode) (*Result, error) {
 // Query evaluates a goal (`?- lit, … .`) against the current instance —
 // sugar for a RIDI module containing only the goal.
 func (db *Database) Query(goalSrc string) (*Answer, error) {
+	return db.QueryContext(db.ctx(), goalSrc)
+}
+
+// QueryContext is Query under an explicit cancellation context.
+func (db *Database) QueryContext(ctx context.Context, goalSrc string) (*Answer, error) {
 	goal, err := parser.ParseGoal(goalSrc)
 	if err != nil {
 		return nil, err
@@ -197,12 +269,18 @@ func (db *Database) Query(goalSrc string) (*Answer, error) {
 	m := &ast.Module{Schema: types.NewSchema(), Goal: goal}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	res, err := module.Apply(db.st, m, ast.RIDI, db.opts)
+	opts := db.opts
+	opts.Ctx = ctx
+	res, err := module.Apply(db.st, m, ast.RIDI, opts)
 	if err != nil {
 		return nil, err
 	}
 	return res.Answer, nil
 }
+
+// ctx returns the database's configured evaluation context (nil is fine:
+// the engine treats it as context.Background()).
+func (db *Database) ctx() context.Context { return db.opts.Ctx }
 
 // Instance computes the current database instance I (the persistent rules
 // applied to E) and returns its facts.
@@ -326,12 +404,19 @@ func (db *Database) Register(src string) error {
 
 // Call applies a registered module by name with its declared mode.
 func (db *Database) Call(name string) (*Result, error) {
+	return db.CallContext(db.ctx(), name)
+}
+
+// CallContext is Call under an explicit cancellation context.
+func (db *Database) CallContext(ctx context.Context, name string) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.st.Lib == nil {
 		db.st.Lib = module.NewLibrary()
 	}
-	res, err := db.st.Lib.Call(db.st, name, db.opts)
+	opts := db.opts
+	opts.Ctx = ctx
+	res, err := db.st.Lib.Call(db.st, name, opts)
 	if err != nil {
 		return nil, err
 	}

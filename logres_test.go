@@ -2,6 +2,7 @@ package logres
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -265,14 +266,24 @@ func TestOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Exec(`
+	_, err = db.Exec(`
 mode ridv.
 rules
   n(v: 0).
   n(v: Y) <- n(v: X), Y = X + 1.
 end.
-`); err == nil || !strings.Contains(err.Error(), "fixpoint") {
+`)
+	if err == nil || !strings.Contains(err.Error(), "fixpoint") {
 		t.Fatalf("MaxSteps option ignored: %v", err)
+	}
+	// MaxSteps exhaustion is a budget abort like any other: the typed
+	// error carries the axis and the round it tripped at.
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("MaxSteps overflow is not a *BudgetError: %v", err)
+	}
+	if be.Axis != AxisRounds || be.Limit != 5 {
+		t.Fatalf("BudgetError = %+v, want rounds axis with limit 5", be)
 	}
 }
 
