@@ -12,10 +12,12 @@ package logres
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"logres/internal/ast"
 	"logres/internal/bench"
+	"logres/internal/obs"
 )
 
 // E1 — transitive closure: LOGRES naive vs semi-naive vs ALGRES-compiled
@@ -350,6 +352,41 @@ func BenchmarkE12_ParallelClosure(b *testing.B) {
 			}
 			s.Program.SetWorkers(workers)
 			s.Program.SetShards(shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != 128*129/2 {
+					b.Fatalf("tc = %d", got)
+				}
+			}
+		})
+	}
+}
+
+// E14 — tracer overhead: the same chain closure untraced (the nil-check
+// fast path), under a JSONL tracer writing to io.Discard, and under the
+// metrics adapter. EXPERIMENTS.md records the measured gap; the
+// untraced variant must stay within noise of a build without the
+// tracing hooks at all.
+func BenchmarkE14_TracerOverhead(b *testing.B) {
+	variants := []struct {
+		name   string
+		tracer obs.Tracer
+	}{
+		{"off", nil},
+		{"jsonl", obs.NewJSONL(io.Discard)},
+		{"metrics", obs.NewMetrics().Tracer()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			s, err := bench.NewLogresTC(bench.Chain(128), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Program.SetTracer(v.tracer)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				got, err := s.Run()

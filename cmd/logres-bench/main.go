@@ -7,17 +7,25 @@
 // Usage:
 //
 //	logres-bench [-quick] [-only E1,E5]
+//	logres-bench -json BENCH_pr4.json
+//
+// The -json mode runs a small tracer-overhead smoke suite (the E1 and
+// E12 workloads with tracing off vs a JSONL tracer discarding its
+// output) and writes machine-readable ns/op results instead of tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"logres/internal/ast"
 	"logres/internal/bench"
+	"logres/internal/obs"
 )
 
 type experiment struct {
@@ -28,7 +36,16 @@ type experiment struct {
 func main() {
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5)")
+	jsonPath := flag.String("json", "", "run the tracer-overhead smoke suite and write ns/op results to this file")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runSmoke(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "logres-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -52,6 +69,74 @@ func main() {
 		}
 		t.Print(os.Stdout)
 	}
+}
+
+// smokeResult is one row of the -json report.
+type smokeResult struct {
+	Name    string `json:"name"`
+	Tracer  string `json:"tracer"`
+	Workers int    `json:"workers"`
+	Shards  int    `json:"shards"`
+	Iters   int    `json:"iters"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// smokeCase is one workload × tracer configuration of the smoke suite.
+type smokeCase struct {
+	name            string
+	workers, shards int
+	edges           int
+}
+
+// runSmoke measures the E1 (serial) and E12 (parallel) chain-closure
+// workloads with tracing off and with a JSONL tracer writing to
+// io.Discard, and writes the ns/op comparison as JSON — the CI
+// bench-smoke artifact guarding the tracer's overhead contract.
+func runSmoke(path string) error {
+	cases := []smokeCase{
+		{name: "E1_tc_chain128_serial", workers: 1, shards: 1, edges: 128},
+		{name: "E12_tc_chain256_par4", workers: 4, shards: 4, edges: 256},
+	}
+	var results []smokeResult
+	for _, c := range cases {
+		for _, traced := range []bool{false, true} {
+			s, err := bench.NewLogresTC(bench.Chain(c.edges), true)
+			if err != nil {
+				return err
+			}
+			s.Program.SetWorkers(c.workers)
+			s.Program.SetShards(c.shards)
+			label := "off"
+			if traced {
+				s.Program.SetTracer(obs.NewJSONL(io.Discard))
+				label = "jsonl"
+			}
+			if _, err := s.Run(); err != nil { // warm-up
+				return err
+			}
+			iters := 0
+			start := time.Now()
+			for time.Since(start) < 500*time.Millisecond || iters < 5 {
+				if _, err := s.Run(); err != nil {
+					return err
+				}
+				iters++
+			}
+			results = append(results, smokeResult{
+				Name:    c.name,
+				Tracer:  label,
+				Workers: c.workers,
+				Shards:  c.shards,
+				Iters:   iters,
+				NsPerOp: time.Since(start).Nanoseconds() / int64(iters),
+			})
+		}
+	}
+	out, err := json.MarshalIndent(map[string]any{"suite": "tracer-overhead", "results": results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func sizes(quick bool, full, small []int) []int {

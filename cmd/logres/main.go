@@ -18,6 +18,13 @@
 //	-max-facts n    bound on facts derived per evaluation
 //	-max-oids n     bound on oids invented per evaluation
 //	-deadline d     wall-clock bound per evaluation (e.g. 30s)
+//	-trace dest     write an evaluation event trace; dest is a JSONL file
+//	                path, "-" for JSONL on stderr, or "text:PATH" /
+//	                "text:-" for the human-readable rendering
+//	-flight n       keep the last n trace events in a flight recorder and
+//	                dump them to stderr when an evaluation aborts
+//	-metrics-addr a serve /metrics (Prometheus text), /debug/vars
+//	                (expvar), and /debug/pprof on addr (e.g. :6060)
 //	-i              start an interactive REPL after applying the modules
 //
 // Ctrl-C cancels the in-flight evaluation: non-interactive runs exit
@@ -29,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +54,9 @@ type config struct {
 	dump        bool
 	interactive bool
 	budget      logres.Budget
+	trace       string
+	flight      int
+	metricsAddr string
 	moduleFiles []string
 }
 
@@ -60,6 +71,9 @@ func main() {
 	flag.IntVar(&cfg.budget.MaxFacts, "max-facts", 0, "bound on facts derived per evaluation (0 = unlimited)")
 	flag.IntVar(&cfg.budget.MaxOIDs, "max-oids", 0, "bound on oids invented per evaluation (0 = unlimited)")
 	flag.DurationVar(&cfg.budget.Timeout, "deadline", 0, "wall-clock bound per evaluation (0 = unlimited)")
+	flag.StringVar(&cfg.trace, "trace", "", `trace destination: JSONL file, "-" (stderr), or "text:PATH"`)
+	flag.IntVar(&cfg.flight, "flight", 0, "flight-recorder size; dumps the last n events to stderr on abort (0 = off)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.BoolVar(&cfg.interactive, "i", false, "start an interactive REPL after applying the modules")
 	flag.Parse()
 	cfg.moduleFiles = flag.Args()
@@ -84,6 +98,30 @@ func run(ctx context.Context, cfg config) error {
 	var opts []logres.Option
 	if cfg.budget != (logres.Budget{}) {
 		opts = append(opts, logres.WithBudget(cfg.budget))
+	}
+
+	tracer, closeTrace, err := buildTracer(cfg)
+	if err != nil {
+		return err
+	}
+	if closeTrace != nil {
+		defer closeTrace()
+	}
+	if tracer != nil {
+		opts = append(opts, logres.WithTracer(tracer))
+	}
+
+	var metrics *logres.Metrics
+	if cfg.metricsAddr != "" {
+		metrics = logres.NewMetrics()
+		metrics.PublishExpvar("logres")
+		opts = append(opts, logres.WithMetrics(metrics))
+		go func() {
+			srv := &http.Server{Addr: cfg.metricsAddr, Handler: logres.MetricsHandler(metrics)}
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "logres: metrics server:", err)
+			}
+		}()
 	}
 
 	var db *logres.Database
@@ -159,6 +197,43 @@ func run(ctx context.Context, cfg config) error {
 		fmt.Printf("saved snapshot to %s\n", cfg.savePath)
 	}
 	return nil
+}
+
+// buildTracer assembles the tracer the -trace and -flight flags ask
+// for: a JSONL or text sink on a file or stderr, fanned together with a
+// flight recorder that dumps to stderr on abort. The returned cleanup
+// closes any opened file.
+func buildTracer(cfg config) (logres.Tracer, func(), error) {
+	var tracers []logres.Tracer
+	var cleanup func()
+	if cfg.trace != "" {
+		dest := cfg.trace
+		text := false
+		if strings.HasPrefix(dest, "text:") {
+			text, dest = true, strings.TrimPrefix(dest, "text:")
+		}
+		var w *os.File
+		if dest == "-" {
+			w = os.Stderr
+		} else {
+			f, err := os.Create(dest)
+			if err != nil {
+				return nil, nil, fmt.Errorf("-trace: %w", err)
+			}
+			w, cleanup = f, func() { f.Close() }
+		}
+		if text {
+			tracers = append(tracers, logres.NewTextTracer(w))
+		} else {
+			tracers = append(tracers, logres.NewJSONLTracer(w))
+		}
+	}
+	if cfg.flight > 0 {
+		fr := logres.NewFlightRecorder(cfg.flight)
+		fr.SetDumpOnAbort(os.Stderr)
+		tracers = append(tracers, fr)
+	}
+	return logres.MultiTracer(tracers...), cleanup, nil
 }
 
 func printAnswer(ans *logres.Answer) {

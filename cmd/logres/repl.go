@@ -24,6 +24,8 @@ import (
 //	.call NAME                 invoke a registered module
 //	.register <module…end.>    register the next module instead of applying
 //	.save FILE / .load FILE    snapshot I/O
+//	.trace on|off              toggle a human-readable evaluation trace
+//	.metrics                   print the metrics registry (Prometheus text)
 //	.help / .quit
 func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 	// Ctrl-C during an evaluation cancels it and returns to the prompt;
@@ -143,7 +145,23 @@ func replCommand(db *logres.Database, cmd string, out io.Writer, registering *bo
 		return true
 	case ".help":
 		fmt.Fprintln(out, "commands: ?- goal.   <module…end.>   .dump .schema .explain .modules")
-		fmt.Fprintln(out, "          .call NAME .register .save FILE .load FILE .quit")
+		fmt.Fprintln(out, "          .call NAME .register .save FILE .load FILE")
+		fmt.Fprintln(out, "          .trace on|off .metrics .quit")
+	case ".trace":
+		switch {
+		case len(fields) == 2 && fields[1] == "on":
+			db.SetTracer(logres.NewTextTracer(out))
+			fmt.Fprintln(out, "tracing on")
+		case len(fields) == 2 && fields[1] == "off":
+			db.SetTracer(nil)
+			fmt.Fprintln(out, "tracing off")
+		default:
+			fmt.Fprintln(out, "usage: .trace on|off")
+		}
+	case ".metrics":
+		if _, err := db.Metrics().WriteTo(out); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
 	case ".dump":
 		s, err := db.InstanceString()
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"logres/internal/guard"
+	"logres/internal/obs"
 )
 
 // The liberal closure operator. ALGRES exposes a fixpoint construct whose
@@ -34,6 +35,9 @@ type Opts struct {
 	// Timeout bounds the closure's wall-clock time (0 = unlimited); the
 	// deadline is armed when the closure starts.
 	Timeout time.Duration
+	// Tracer receives one closure.round event per fixpoint round (nil =
+	// no tracing; the off path is a nil check per round).
+	Tracer obs.Tracer
 }
 
 // roundGuard is the per-closure guardrail state shared by Fixpoint and
@@ -101,10 +105,15 @@ func FixpointOpts(db *DB, step StepFunc, opts Opts) (*DB, error) {
 		if err := g.check(i); err != nil {
 			return nil, err
 		}
+		var start time.Time
+		if opts.Tracer != nil {
+			start = time.Now()
+		}
 		updates, err := step(cur)
 		if err != nil {
 			return nil, err
 		}
+		before := g.inserted
 		changed := false
 		for name, add := range updates {
 			dst, ok := cur.Get(name)
@@ -118,6 +127,16 @@ func FixpointOpts(db *DB, step StepFunc, opts Opts) (*DB, error) {
 					g.inserted++
 				}
 			}
+		}
+		if opts.Tracer != nil {
+			opts.Tracer.Event(obs.Event{
+				Kind:     obs.KindClosureRound,
+				Stratum:  -1,
+				Round:    i,
+				Count:    g.inserted - before,
+				Total:    g.inserted,
+				Duration: time.Since(start),
+			})
 		}
 		if !changed {
 			return cur, nil

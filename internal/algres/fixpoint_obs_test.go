@@ -1,0 +1,47 @@
+package algres
+
+import (
+	"testing"
+
+	"logres/internal/obs"
+)
+
+type collectTracer struct{ events []obs.Event }
+
+func (c *collectTracer) Event(ev obs.Event) { c.events = append(c.events, ev) }
+
+// The ALGRES fixpoint reports one closure.round event per round with the
+// per-round insertion count and the cumulative total.
+func TestFixpointClosureRoundEvents(t *testing.T) {
+	edges := edgeRel([2]int64{1, 2}, [2]int64{2, 3}, [2]int64{3, 4})
+	ct := &collectTracer{}
+	tc, err := TransitiveClosureOpts(edges, "src", "dst", Opts{Tracer: ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 6 {
+		t.Fatalf("closure = %d, want 6", tc.Len())
+	}
+	if len(ct.events) == 0 {
+		t.Fatal("no closure.round events recorded")
+	}
+	last := -1
+	total := 0
+	for _, ev := range ct.events {
+		if ev.Kind != obs.KindClosureRound {
+			t.Fatalf("unexpected event kind %q", ev.Kind)
+		}
+		if ev.Round != last+1 {
+			t.Fatalf("round %d follows %d, want consecutive", ev.Round, last)
+		}
+		last = ev.Round
+		total += ev.Count
+		if ev.Total != total {
+			t.Fatalf("round %d: Total = %d, want cumulative %d", ev.Round, ev.Total, total)
+		}
+	}
+	// The final round inserts nothing (convergence).
+	if ct.events[len(ct.events)-1].Count != 0 {
+		t.Fatalf("final round inserted %d tuples, want 0", ct.events[len(ct.events)-1].Count)
+	}
+}

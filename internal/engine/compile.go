@@ -7,6 +7,7 @@ import (
 
 	"logres/internal/ast"
 	"logres/internal/guard"
+	"logres/internal/obs"
 	"logres/internal/types"
 )
 
@@ -49,6 +50,11 @@ type Options struct {
 	// value) mean runtime.GOMAXPROCS(0); 1 keeps the serial merge. Results
 	// are bit-identical for every shard count.
 	Shards int
+	// Tracer receives typed evaluation events (stratum/round boundaries,
+	// rule firings, oid invention, merges, budget consumption, aborts).
+	// nil (the default) disables tracing; every emission site is behind a
+	// nil check, so the untraced hot path pays nothing.
+	Tracer obs.Tracer
 }
 
 // DefaultOptions returns the standard evaluation options.
@@ -67,6 +73,11 @@ type Program struct {
 	stratified bool
 	stats      *Stats
 	guard      *guard.Guard
+
+	// lastFirings is the cumulative Firings snapshot at the previous
+	// round boundary; traceFirings diffs against it to emit per-round
+	// rule.fire events. Reset on every Run.
+	lastFirings map[int]int
 }
 
 // Schema returns the schema the program was compiled against.
@@ -104,6 +115,11 @@ func (p *Program) SetShards(n int) {
 
 // Shards returns the effective FactSet shard count.
 func (p *Program) Shards() int { return p.opts.Shards }
+
+// SetTracer attaches (or, with nil, detaches) an evaluation tracer
+// after compilation. Benchmarks and the REPL's `.trace` toggle use it
+// to compare traced and untraced runs of one compiled program.
+func (p *Program) SetTracer(t obs.Tracer) { p.opts.Tracer = t }
 
 // Compile analyses a rule set against a schema: it resolves predicates and
 // labels, orders rule bodies, checks the safety requirements of §3.1 and

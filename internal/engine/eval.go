@@ -32,6 +32,23 @@ type evalCtx struct {
 	reemit bool
 
 	stats *Stats
+
+	// g, when non-nil, is the armed guard the coarse in-round check
+	// polls every inRoundCheckInterval fact iterations, so a single
+	// cross-product round cannot overrun its deadline or fact budget.
+	// nil when no cancellation or budget axis is armed — the unguarded
+	// hot path pays one nil check per fact.
+	g     *guard.Guard
+	round int
+	steps int
+	// emitted counts head instantiations in this context; the in-round
+	// fact-axis check adds it to the (frozen) base count, since facts
+	// derived mid-round live in private deltas the base set cannot see.
+	emitted int
+	// orchestrator marks contexts running on the evaluation's
+	// coordinating goroutine: the only ones that invent oids, and the
+	// only ones allowed to emit invention trace events.
+	orchestrator bool
 }
 
 func (c *evalCtx) activeDom() *activeDomain {
@@ -75,6 +92,12 @@ func (c *evalCtx) matchLit(l resolvedLit, e *env, yield func(*env) error) error 
 func (c *evalCtx) matchPositive(l resolvedLit, source *FactSet, e *env, yield func(*env) error) error {
 	facts := c.candidateFacts(l, source, e)
 	for _, fact := range facts {
+		c.steps++
+		if c.g != nil && c.steps%inRoundCheckInterval == 0 {
+			if err := c.inRoundCheck(l); err != nil {
+				return err
+			}
+		}
 		e2 := e.clone()
 		ok, err := c.matchFact(l, fact, e2)
 		if err != nil {
@@ -193,6 +216,12 @@ func (c *evalCtx) matchNegated(l resolvedLit, e *env, yield func(*env) error) er
 
 func (c *evalCtx) noFactMatches(l resolvedLit, e *env) (bool, error) {
 	for _, fact := range c.candidateFacts(l, c.f, e) {
+		c.steps++
+		if c.g != nil && c.steps%inRoundCheckInterval == 0 {
+			if err := c.inRoundCheck(l); err != nil {
+				return false, err
+			}
+		}
 		probe := e.clone()
 		ok, err := c.matchFact(l, fact, probe)
 		if err != nil {
@@ -313,6 +342,7 @@ func (c *evalCtx) instantiateHead(r *crule, e *env, dplus, dminus *FactSet) erro
 	if c.stats != nil {
 		c.stats.Firings[r.id]++
 	}
+	c.emitted++
 	h := r.head
 	if h.negated {
 		return c.instantiateDeletion(r, e, dminus)
@@ -484,6 +514,7 @@ func (c *evalCtx) instantiateClassHead(r *crule, e *env, dplus *FactSet) error {
 	if c.stats != nil {
 		c.stats.Invented++
 	}
+	c.traceInvent(r, h.pred, int64(oid))
 	dplus.Add(Fact{Pred: h.pred, IsClass: true, OID: oid, Tuple: tuple})
 	return nil
 }
@@ -617,9 +648,12 @@ func (c *evalCtx) instantiateDeletion(r *crule, e *env, dminus *FactSet) error {
 //
 //	VAR' = ((F ⊕ Δ+) − Δ−) ⊕ (F ∩ Δ+ ∩ Δ−)
 //
-// It returns the next fact set and whether anything changed.
-func (p *Program) oneStep(rules []*crule, f *FactSet, counter *int64) (*FactSet, bool, error) {
-	c := &evalCtx{p: p, f: f, counter: counter, deltaIdx: -1, stats: p.stats}
+// It returns the next fact set and whether anything changed. step is
+// the fixpoint round, used by the in-round guard check and trace
+// events.
+func (p *Program) oneStep(step int, rules []*crule, f *FactSet, counter *int64) (*FactSet, bool, error) {
+	c := &evalCtx{p: p, f: f, counter: counter, deltaIdx: -1, stats: p.stats,
+		g: p.armedGuard(), round: step, orchestrator: true}
 	dplus, dminus := NewFactSet(), NewFactSet()
 	for _, r := range rules {
 		yield := func(e *env) error {
@@ -643,7 +677,7 @@ func (p *Program) oneStep(rules []*crule, f *FactSet, counter *int64) (*FactSet,
 			}
 		}
 		if err := c.matchBody(r.body, 0, newEnv(), yield); err != nil {
-			return nil, false, fmt.Errorf("%v (in rule %s)", err, r)
+			return nil, false, fmt.Errorf("%w (in rule %s)", err, r)
 		}
 	}
 	if dplus.TotalSize() == 0 && dminus.TotalSize() == 0 {
@@ -676,6 +710,8 @@ func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet
 		if err := p.checkRound(step, f, "the inflationary semantics does not guarantee termination"); err != nil {
 			return nil, err
 		}
+		p.traceRoundBegin(step)
+		start := p.traceNow()
 		var (
 			next    *FactSet
 			changed bool
@@ -684,7 +720,7 @@ func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet
 		if p.opts.Workers > 1 {
 			next, changed, err = p.oneStepParallel(step, rules, f, counter)
 		} else {
-			next, changed, err = p.oneStep(rules, f, counter)
+			next, changed, err = p.oneStep(step, rules, f, counter)
 		}
 		if err != nil {
 			return nil, err
@@ -692,6 +728,7 @@ func (p *Program) fixpoint(rules []*crule, f *FactSet, counter *int64) (*FactSet
 		if p.stats != nil {
 			p.stats.Steps++
 		}
+		p.traceRoundEnd(step, next.TotalSize()-f.TotalSize(), next.TotalSize(), start)
 		if !changed {
 			return next, nil
 		}
@@ -716,12 +753,18 @@ func (p *Program) RunContext(ctx context.Context, f0 *FactSet, counter *int64) (
 	p.stats = newStats()
 	p.stats.Strata = len(p.strata)
 	p.stats.Workers = p.opts.Workers
+	p.lastFirings = nil
 	p.guard = guard.New(ctx, p.opts.Budget, f0.TotalSize())
+	p.traceEvalBegin(f0)
+	start := p.traceNow()
 	f, err := p.runGuarded(f0, counter)
 	if err != nil {
 		p.stats.recordAbort(err)
+		p.traceAbort(err)
+		return f, err
 	}
-	return f, err
+	p.traceEvalEnd(f, start)
+	return f, nil
 }
 
 func (p *Program) runGuarded(f0 *FactSet, counter *int64) (*FactSet, error) {
@@ -746,13 +789,16 @@ func (p *Program) runGuarded(f0 *FactSet, counter *int64) (*FactSet, error) {
 		var err error
 		if p.opts.SemiNaive && stratumSemiNaiveEligible(stratum) {
 			p.stats.SemiNaiveStrata++
+			p.traceStratumBegin(i, stratum, "semi-naive")
 			f, err = p.semiNaive(stratum, f, counter)
 		} else {
+			p.traceStratumBegin(i, stratum, "one-step inflationary")
 			f, err = p.fixpoint(stratum, f, counter)
 		}
 		if err != nil {
 			return nil, err
 		}
+		p.traceStratumEnd(i, f)
 	}
 	return f, nil
 }

@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 
 	"logres/internal/guard"
+	"logres/internal/obs"
 )
 
 // Budget bounds an evaluation along four axes: fixpoint rounds, facts
@@ -46,6 +47,50 @@ func (p *Program) curGuard() *guard.Guard {
 		return inactiveGuard
 	}
 	return p.guard
+}
+
+// armedGuard returns the run's guard only when a cancellation or budget
+// axis is armed — the evalCtx in-round check is wired to this, so the
+// unguarded hot path carries a nil and skips the check entirely.
+func (p *Program) armedGuard() *guard.Guard {
+	if g := p.guard; g != nil && g.Active() {
+		return g
+	}
+	return nil
+}
+
+// inRoundCheckInterval is the fact-iteration granularity of the
+// cooperative in-round guard check: every N candidate facts enumerated
+// by rule matching, the armed guard's cancellation/deadline/fact/oid
+// axes are re-checked, so a single cross-product round cannot overrun
+// its deadline by more than N iterations. A variable so tests can
+// lower it.
+var inRoundCheckInterval = 1 << 12
+
+// inRoundCheck polls the armed guard mid-round. The fact count it
+// reports is coarse: the frozen base extension plus this context's head
+// instantiations (facts derived mid-round live in private deltas the
+// base set cannot see, and duplicates are counted) — an overestimate
+// never more than one interval stale. A trip emits a guard.check trace
+// event before surfacing the typed abort error.
+func (c *evalCtx) inRoundCheck(l resolvedLit) error {
+	invented := 0
+	if c.stats != nil {
+		invented = c.stats.Invented
+	}
+	err := c.g.Check(c.round, func() int { return c.f.TotalSize() + c.emitted }, invented)
+	if err != nil {
+		if t := c.p.opts.Tracer; t != nil {
+			t.Event(obs.Event{
+				Kind:    obs.KindGuardCheck,
+				Stratum: c.g.Stratum(),
+				Round:   c.round,
+				Pred:    l.pred,
+				Detail:  err.Error(),
+			})
+		}
+	}
+	return err
 }
 
 func (p *Program) invented() int {
@@ -91,7 +136,7 @@ func (p *Program) runShielded(r *crule, task func() error) (err error) {
 	}
 	if err := task(); err != nil {
 		p.curGuard().Abort()
-		return fmt.Errorf("%v (in rule %s)", err, r)
+		return fmt.Errorf("%w (in rule %s)", err, r)
 	}
 	return nil
 }

@@ -19,9 +19,11 @@ import "fmt"
 // survive the step — while oid invention keeps its dedup discipline (an
 // object is re-emitted, not re-invented).
 
-// oneStepNoninf applies the non-inflationary operator once.
-func (p *Program) oneStepNoninf(rules []*crule, e, f *FactSet, counter *int64) (*FactSet, bool, error) {
-	c := &evalCtx{p: p, f: f, counter: counter, deltaIdx: -1, reemit: true, stats: p.stats}
+// oneStepNoninf applies the non-inflationary operator once. step is the
+// fixpoint round, used to attribute trace events and in-round aborts.
+func (p *Program) oneStepNoninf(step int, rules []*crule, e, f *FactSet, counter *int64) (*FactSet, bool, error) {
+	c := &evalCtx{p: p, f: f, counter: counter, deltaIdx: -1, reemit: true, stats: p.stats,
+		g: p.armedGuard(), round: step, orchestrator: true}
 	dplus, dminus := NewFactSet(), NewFactSet()
 	for _, r := range rules {
 		yield := func(env2 *env) error {
@@ -40,7 +42,7 @@ func (p *Program) oneStepNoninf(rules []*crule, e, f *FactSet, counter *int64) (
 			}
 		}
 		if err := c.matchBody(r.body, 0, newEnv(), yield); err != nil {
-			return nil, false, fmt.Errorf("%v (in rule %s)", err, r)
+			return nil, false, fmt.Errorf("%w (in rule %s)", err, r)
 		}
 	}
 	next := e.Clone()
@@ -65,18 +67,23 @@ func (p *Program) runNoninflationary(e *FactSet, counter *int64) (*FactSet, erro
 	for _, stratum := range p.strata {
 		rules = append(rules, stratum...)
 	}
+	p.traceStratumBegin(-1, rules, "non-inflationary")
 	for step := 0; ; step++ {
 		if err := p.checkRound(step, f, "the non-inflationary semantics is undefined when no fixpoint is reached"); err != nil {
 			return nil, err
 		}
-		next, changed, err := p.oneStepNoninf(rules, e, f, counter)
+		p.traceRoundBegin(step)
+		start := p.traceNow()
+		next, changed, err := p.oneStepNoninf(step, rules, e, f, counter)
 		if err != nil {
 			return nil, err
 		}
 		if p.stats != nil {
 			p.stats.Steps++
 		}
+		p.traceRoundEnd(step, next.TotalSize()-f.TotalSize(), next.TotalSize(), start)
 		if !changed {
+			p.traceStratumEnd(-1, next)
 			return next, nil
 		}
 		f = next

@@ -164,7 +164,8 @@ func (p *Program) oneStepParallel(step int, rules []*crule, f *FactSet, counter 
 					st = newStats()
 				}
 				localCounter := base
-				c := &evalCtx{p: p, f: f, ad: ad, counter: &localCounter, deltaIdx: -1, stats: st}
+				c := &evalCtx{p: p, f: f, ad: ad, counter: &localCounter, deltaIdx: -1, stats: st,
+					g: p.armedGuard(), round: step}
 				errs[i] = p.runShielded(t.rule, func() error { return c.runOSTask(t, &results[i]) })
 				results[i].stats = st
 			}
@@ -192,7 +193,8 @@ func (p *Program) oneStepParallel(step int, rules []*crule, f *FactSet, counter 
 	// counter with the per-rule valuation-domain dedup spanning all chunks,
 	// exactly as the serial operator's wrapped yield does.
 	dplus, dminus := NewFactSet(), NewFactSet()
-	cseq := &evalCtx{p: p, f: f, ad: ad, counter: counter, deltaIdx: -1, stats: p.stats}
+	cseq := &evalCtx{p: p, f: f, ad: ad, counter: counter, deltaIdx: -1, stats: p.stats,
+		g: p.armedGuard(), round: step, orchestrator: true}
 	seen := map[int]map[string]bool{}
 	for i, t := range tasks {
 		if t.pure {
@@ -221,7 +223,7 @@ func (p *Program) oneStepParallel(step int, rules []*crule, f *FactSet, counter 
 			}
 			if err := cseq.instantiateHead(r, e, dplus, dminus); err != nil {
 				thaw()
-				return nil, false, fmt.Errorf("%v (in rule %s)", err, r)
+				return nil, false, fmt.Errorf("%w (in rule %s)", err, r)
 			}
 		}
 	}

@@ -61,17 +61,21 @@ func (p *Program) semiNaiveSerial(stratum []*crule, f *FactSet, counter *int64) 
 	cur := f.Clone()
 
 	// Round 0: full evaluation of every rule against the initial set.
+	p.traceRoundBegin(0)
+	start := p.traceNow()
 	delta := NewFactSet()
-	c := &evalCtx{p: p, f: cur, counter: counter, deltaIdx: -1, stats: p.stats}
+	c := &evalCtx{p: p, f: cur, counter: counter, deltaIdx: -1, stats: p.stats,
+		g: p.armedGuard(), orchestrator: true}
 	dminus := NewFactSet()
 	for _, r := range stratum {
 		err := c.matchBody(r.body, 0, newEnv(), func(e *env) error {
 			return c.instantiateHead(r, e, delta, dminus)
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%v (in rule %s)", err, r)
+			return nil, fmt.Errorf("%w (in rule %s)", err, r)
 		}
 	}
+	p.traceRoundEnd(0, delta.TotalSize(), cur.TotalSize(), start)
 	for round := 0; delta.TotalSize() > 0; round++ {
 		if err := p.checkRound(round, cur, "semi-naive delta iteration"); err != nil {
 			return nil, err
@@ -79,9 +83,12 @@ func (p *Program) semiNaiveSerial(stratum []*crule, f *FactSet, counter *int64) 
 		if p.stats != nil {
 			p.stats.Steps++
 		}
+		p.traceRoundBegin(round + 1)
+		start := p.traceNow()
 		cur.Merge(delta)
 		next := NewFactSet()
-		c := &evalCtx{p: p, f: cur, counter: counter, stats: p.stats}
+		c := &evalCtx{p: p, f: cur, counter: counter, stats: p.stats,
+			g: p.armedGuard(), round: round + 1, orchestrator: true}
 		for _, r := range stratum {
 			// One pass per body literal position: that literal ranges over
 			// the delta, the others over the full current set.
@@ -110,10 +117,11 @@ func (p *Program) semiNaiveSerial(stratum []*crule, f *FactSet, counter *int64) 
 					return nil
 				})
 				if err != nil {
-					return nil, fmt.Errorf("%v (in rule %s)", err, r)
+					return nil, fmt.Errorf("%w (in rule %s)", err, r)
 				}
 			}
 		}
+		p.traceRoundEnd(round+1, next.TotalSize(), cur.TotalSize(), start)
 		delta = next
 	}
 	return cur, nil

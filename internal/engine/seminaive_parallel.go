@@ -181,7 +181,8 @@ func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, cou
 					st = newStats()
 				}
 				localCounter := base
-				c := &evalCtx{p: p, f: cur, counter: &localCounter, deltaIdx: -1, delta: delta, stats: st}
+				c := &evalCtx{p: p, f: cur, counter: &localCounter, deltaIdx: -1, delta: delta, stats: st,
+					g: p.armedGuard(), round: round}
 				errs[i] = p.runShielded(t.rule, func() error { return c.runSNTask(t, out) })
 				results[i], taskStats[i] = out, st
 			}
@@ -227,6 +228,7 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 	cur := f.CloneShards(p.opts.Shards)
 	cur.FreezeParallel(workers)
 
+	p.traceRoundBegin(0)
 	start := time.Now()
 	tasks := round0Tasks(stratum, cur, workers)
 	delta, err := p.runSNTasks(0, tasks, cur, nil, counter)
@@ -235,6 +237,7 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 		return nil, err
 	}
 	p.recordRound(0, len(tasks), time.Since(start))
+	p.traceRoundEnd(0, delta.TotalSize(), cur.TotalSize(), start)
 
 	for round := 0; delta.TotalSize() > 0; round++ {
 		if err := p.checkRound(round, cur, "semi-naive delta iteration"); err != nil {
@@ -244,6 +247,7 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 		if p.stats != nil {
 			p.stats.Steps++
 		}
+		p.traceRoundBegin(round + 1)
 		start := time.Now()
 		cur.Thaw()
 		p.recordMerge(round+1, cur.MergeOrdered([]*FactSet{delta}))
@@ -256,6 +260,7 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 			return nil, err
 		}
 		p.recordRound(round+1, len(tasks), time.Since(start))
+		p.traceRoundEnd(round+1, next.TotalSize(), cur.TotalSize(), start)
 		delta = next
 	}
 	cur.Thaw()
@@ -271,8 +276,10 @@ func (p *Program) recordRound(round, tasks int, d time.Duration) {
 }
 
 // recordMerge appends the per-shard timing record of one ordered delta
-// merge to the stats (single-shard serial merges are skipped).
+// merge to the stats (single-shard serial merges are skipped) and
+// emits the corresponding merge trace event.
 func (p *Program) recordMerge(round int, ms MergeStats) {
+	p.traceMerge(round, ms)
 	if p.stats == nil || len(ms.ShardDurations) == 0 {
 		return
 	}

@@ -35,6 +35,11 @@ type Stats struct {
 	// MergeTimings records the per-shard wall-clock of each parallel
 	// ordered delta merge (empty for serial or single-shard evaluations).
 	MergeTimings []MergeTiming
+	// DeltaCurve records, per fixpoint round, how many facts the round
+	// contributed and the resulting total — the convergence curve of the
+	// run, in evaluation order across strata. Deterministic: parallel
+	// configurations record the same curve as serial.
+	DeltaCurve []RoundDelta
 	// Abort is "" when the run reached a fixpoint; otherwise the abort
 	// class: an exhausted budget axis ("rounds", "facts", "oids",
 	// "deadline"), "canceled", "panic", or "error".
@@ -61,6 +66,21 @@ func (st *Stats) recordAbort(err error) {
 	default:
 		st.Abort = "error"
 	}
+}
+
+// RoundDelta is one point on a run's convergence curve: the fact-count
+// change one fixpoint round produced.
+type RoundDelta struct {
+	// Stratum is the evaluation stratum the round ran in (-1 for
+	// non-stratified operators that report no stratum).
+	Stratum int
+	// Round is the round index within its stratum (0 = the full pass).
+	Round int
+	// Delta is the number of facts the round contributed (for the general
+	// operator: the signed change, deletions included).
+	Delta int
+	// Total is the fact count after the round.
+	Total int
 }
 
 // RoundTiming is the timing record of one parallel semi-naive round.
@@ -133,11 +153,13 @@ func (p *Program) Explain() string {
 		if st.Abort != "" {
 			fmt.Fprintf(&b, "  aborted (%s) at stratum %d, round %d\n", st.Abort, st.AbortStratum, st.AbortRound)
 		}
-		if st.Workers > 0 {
+		if st.Workers > 1 {
+			// Workers/Shards are only informative when the last run actually
+			// fanned out; serial runs record Workers == 1.
 			fmt.Fprintf(&b, "workers: %d\n", st.Workers)
-		}
-		if st.Shards > 1 {
-			fmt.Fprintf(&b, "shards: %d\n", st.Shards)
+			if st.Shards > 1 {
+				fmt.Fprintf(&b, "shards: %d\n", st.Shards)
+			}
 		}
 		if len(st.RoundTimings) > 0 {
 			var total time.Duration
@@ -162,13 +184,37 @@ func (p *Program) Explain() string {
 			fmt.Fprintf(&b, "  sharded merges: %d merges × %d shards, %s critical path, %s aggregate\n",
 				len(st.MergeTimings), st.Shards, longest, sum)
 		}
+		if len(st.DeltaCurve) > 0 {
+			b.WriteString("  delta curve:")
+			last := -2
+			for _, rd := range st.DeltaCurve {
+				if rd.Stratum != last {
+					fmt.Fprintf(&b, " [s%d]", rd.Stratum)
+					last = rd.Stratum
+				}
+				fmt.Fprintf(&b, " %+d", rd.Delta)
+			}
+			b.WriteString("\n")
+		}
+		// Rules of the stratum a budget abort stopped in get tagged so the
+		// firing table attributes the exhausted axis to its rules.
+		aborted := map[int]bool{}
+		if st.Abort != "" && st.AbortStratum >= 0 && st.AbortStratum < len(p.strata) {
+			for _, r := range p.strata[st.AbortStratum] {
+				aborted[r.id] = true
+			}
+		}
 		var ids []int
 		for id := range st.Firings {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
 		for _, id := range ids {
-			fmt.Fprintf(&b, "  rule #%d fired %d times\n", id, st.Firings[id])
+			tag := ""
+			if aborted[id] {
+				tag = fmt.Sprintf("  [stratum %d aborted: %s]", st.AbortStratum, st.Abort)
+			}
+			fmt.Fprintf(&b, "  rule #%d fired %d times%s\n", id, st.Firings[id], tag)
 		}
 	}
 	return b.String()

@@ -35,6 +35,28 @@ type Budget struct {
 	Timeout time.Duration
 }
 
+// Tighten combines two budgets into the stricter one per axis: a zero
+// axis defers to the other budget, two armed axes keep the smaller
+// bound. This is how a per-call budget override composes with the
+// database-wide budget — a call can only narrow what the database
+// allows, never widen it.
+func (b Budget) Tighten(o Budget) Budget {
+	r := b
+	if o.MaxRounds > 0 && (r.MaxRounds == 0 || o.MaxRounds < r.MaxRounds) {
+		r.MaxRounds = o.MaxRounds
+	}
+	if o.MaxFacts > 0 && (r.MaxFacts == 0 || o.MaxFacts < r.MaxFacts) {
+		r.MaxFacts = o.MaxFacts
+	}
+	if o.MaxOIDs > 0 && (r.MaxOIDs == 0 || o.MaxOIDs < r.MaxOIDs) {
+		r.MaxOIDs = o.MaxOIDs
+	}
+	if o.Timeout > 0 && (r.Timeout == 0 || o.Timeout < r.Timeout) {
+		r.Timeout = o.Timeout
+	}
+	return r
+}
+
 // Axis names one budget dimension in a *BudgetError.
 type Axis string
 
@@ -175,6 +197,14 @@ func (g *Guard) SetStratum(i int) { g.stratum = i }
 
 // Stratum returns the stratum recorded by SetStratum.
 func (g *Guard) Stratum() int { return g.stratum }
+
+// Budget returns the effective budget the guard enforces — after any
+// per-call tightening — so consumption can be reported against it.
+func (g *Guard) Budget() Budget { return g.budget }
+
+// Derived converts a total fact count into the derived-beyond-baseline
+// count the fact axis meters.
+func (g *Guard) Derived(total int) int { return g.derived(total) }
 
 // Abort marks the evaluation as aborted so sibling workers stop
 // claiming tasks. Safe for concurrent use.

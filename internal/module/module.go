@@ -7,11 +7,13 @@ package module
 import (
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"logres/internal/ast"
 	"logres/internal/engine"
 	"logres/internal/guard"
 	"logres/internal/instance"
+	"logres/internal/obs"
 	"logres/internal/types"
 )
 
@@ -97,6 +99,19 @@ func Apply(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (_ *Res
 	// on any abort — budget, cancellation, or a panic converted here — the
 	// caller's state is bit-identical to its pre-application snapshot.
 	defer shieldPanic(&err)
+	if t := opts.Tracer; t != nil {
+		t.Event(obs.Event{Kind: obs.KindModuleBegin, Pred: m.Name, Detail: mode.String(),
+			Count: len(m.Rules)})
+		start := time.Now()
+		defer func() {
+			ev := obs.Event{Kind: obs.KindModuleEnd, Pred: m.Name, Detail: mode.String(),
+				Duration: time.Since(start)}
+			if err != nil {
+				ev.Detail = mode.String() + ": " + err.Error()
+			}
+			t.Event(ev)
+		}()
+	}
 	if !mode.HasGoal() && len(m.Goal) > 0 {
 		return nil, fmt.Errorf("module: mode %s does not admit a goal (§4.1)", mode)
 	}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = m.WriteTo(w)
+	})
+}
+
+// NewServeMux wires the standard observability endpoints onto one mux:
+//
+//	/metrics       Prometheus text exposition of m
+//	/debug/vars    expvar JSON (publish m with PublishExpvar to include it)
+//	/debug/pprof/  the net/http/pprof profiling surface
+//
+// This is what `logres -metrics-addr` serves.
+func NewServeMux(m *Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

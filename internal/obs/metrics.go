@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a lock-cheap metrics registry: counters and gauges are
+// single atomics, histograms are fixed log₂ buckets of atomics, and the
+// registry lock is taken only on first registration of a name. Values
+// are published through expvar (PublishExpvar) and rendered as
+// Prometheus text exposition format (WriteTo).
+//
+// Metric names may carry a Prometheus label suffix — e.g.
+// `logres_aborts_total{axis="facts"}` — which WriteTo groups into one
+// TYPE family per base name.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into 65 log₂ buckets (bucket i
+// holds values whose bit length is i, i.e. [2^(i-1), 2^i)), giving
+// quantile estimates within a factor of two at a fixed, tiny memory
+// cost and atomic-add observation.
+type Histogram struct {
+	buckets [65]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of
+// the bucket containing it; returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return math.MaxInt64
+			}
+			return (int64(1) << i) - 1
+		}
+	}
+	return math.MaxInt64
+}
+
+// Counter returns (registering on first use) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram.
+func (m *Metrics) Histogram(name string) *Histogram {
+	m.mu.RLock()
+	h := m.hists[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.hists[name]; h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// family splits a metric name into its base name (the TYPE family) and
+// the optional {label} suffix.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteTo renders every metric in Prometheus text exposition format:
+// counters and gauges one sample per name, histograms as summaries with
+// p50/p95/p99 quantile samples plus _sum and _count.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.RLock()
+	counters := make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(m.gauges))
+	for name, g := range m.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for name, h := range m.hists {
+		hists[name] = h
+	}
+	m.mu.RUnlock()
+
+	var b strings.Builder
+	writeScalar := func(vals map[string]int64, typ string) {
+		names := make([]string, 0, len(vals))
+		for name := range vals {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		lastFamily := ""
+		for _, name := range names {
+			if f := family(name); f != lastFamily {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", f, typ)
+				lastFamily = f
+			}
+			fmt.Fprintf(&b, "%s %d\n", name, vals[name])
+		}
+	}
+	writeScalar(counters, "counter")
+	writeScalar(gauges, "gauge")
+
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := hists[name]
+		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "%s{quantile=%q} %d\n", name, fmt.Sprintf("%g", q), h.Quantile(q))
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum())
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// snapshot returns every metric value for expvar exposition.
+func (m *Metrics) snapshot() map[string]any {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]any, len(m.counters)+len(m.gauges)+len(m.hists))
+	for name, c := range m.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range m.hists {
+		out[name] = map[string]int64{
+			"count": h.Count(),
+			"sum":   h.Sum(),
+			"p50":   h.Quantile(0.5),
+			"p95":   h.Quantile(0.95),
+			"p99":   h.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given expvar name
+// (e.g. "logres"), visible at /debug/vars. Publishing the same name
+// twice is a no-op (expvar forbids re-publication).
+func (m *Metrics) PublishExpvar(name string) {
+	defer func() { _ = recover() }()
+	expvar.Publish(name, expvar.Func(func() any { return m.snapshot() }))
+}
+
+// Tracer returns an event adapter that maintains the standard engine
+// metrics from the trace stream: round, firing, oid, abort, merge,
+// module, and guard-trip counters plus round/merge duration histograms.
+// Attach it (usually via Multi, alongside a log sink) to get metrics
+// without a second instrumentation path.
+func (m *Metrics) Tracer() Tracer { return metricsTracer{m} }
+
+type metricsTracer struct{ m *Metrics }
+
+func (t metricsTracer) Event(ev Event) {
+	m := t.m
+	switch ev.Kind {
+	case KindEvalBegin:
+		m.Counter("logres_evals_total").Add(1)
+	case KindEvalEnd:
+		m.Histogram("logres_eval_duration_ns").Observe(int64(ev.Duration))
+		m.Gauge("logres_facts").Set(int64(ev.Total))
+	case KindRoundEnd:
+		m.Counter("logres_rounds_total").Add(1)
+		m.Histogram("logres_round_duration_ns").Observe(int64(ev.Duration))
+		m.Gauge("logres_facts").Set(int64(ev.Total))
+	case KindRuleFire:
+		m.Counter("logres_rule_firings_total").Add(int64(ev.Count))
+	case KindOIDInvent:
+		m.Counter("logres_oids_invented_total").Add(1)
+	case KindMerge:
+		m.Counter("logres_merges_total").Add(1)
+		m.Histogram("logres_merge_duration_ns").Observe(int64(ev.Duration))
+	case KindGuardCheck:
+		m.Counter("logres_guard_trips_total").Add(1)
+	case KindAbort:
+		axis := ev.Axis
+		if axis == "" {
+			axis = "error"
+		}
+		m.Counter(fmt.Sprintf("logres_aborts_total{axis=%q}", axis)).Add(1)
+	case KindModuleEnd:
+		m.Counter("logres_modules_applied_total").Add(1)
+		m.Histogram("logres_module_duration_ns").Observe(int64(ev.Duration))
+	case KindClosureRound:
+		m.Counter("logres_closure_rounds_total").Add(1)
+	}
+}

@@ -1,0 +1,164 @@
+// Package obs is the zero-dependency observability layer of the LOGRES
+// engine: typed evaluation trace events (Tracer), a lock-cheap metrics
+// registry with expvar and Prometheus-text exposition (Metrics), and
+// sink implementations — a JSONL event log, a human-readable trace
+// writer, and a ring-buffer flight recorder that dumps the last N
+// events on abort.
+//
+// The paper's §5 calls for "tools supporting the design, debugging, and
+// monitoring of LOGRES databases and programs"; engine.Stats is the
+// after-the-fact summary, this package is the streaming half. Every
+// emission site in the engine is behind a nil-tracer check, so an
+// untraced evaluation pays nothing beyond one predictable branch per
+// round.
+//
+// Determinism contract: events whose Kind is deterministic (stratum,
+// round, rule-firing, oid-invention, budget-axis, abort events) carry
+// only evaluation-determined payloads — for a fixed program and input,
+// their ordered stream is identical for every workers × shards
+// configuration. Wall-clock fields (Time, Duration) and
+// configuration-dependent fields (Workers, Shards, Shard) are excluded
+// from that contract; the canonical JSONL sink strips them (and skips
+// the nondeterministic kinds entirely) so two traces can be compared
+// byte for byte.
+package obs
+
+import "time"
+
+// Kind names one trace event type.
+type Kind string
+
+// The event taxonomy. See DESIGN.md §8 for the full field contract of
+// each kind.
+const (
+	// KindEvalBegin opens one engine evaluation (Program.Run): Workers,
+	// Shards, Count = strata, Total = extensional facts.
+	KindEvalBegin Kind = "eval.begin"
+	// KindEvalEnd closes a successful evaluation: Count = rounds run,
+	// Total = final fact count, Duration = wall-clock.
+	KindEvalEnd Kind = "eval.end"
+	// KindStratumBegin opens one stratum: Stratum, Count = rules,
+	// Detail = evaluation mode.
+	KindStratumBegin Kind = "stratum.begin"
+	// KindStratumEnd closes one stratum: Stratum, Total = fact count.
+	KindStratumEnd Kind = "stratum.end"
+	// KindRoundBegin opens one fixpoint round: Stratum, Round.
+	KindRoundBegin Kind = "round.begin"
+	// KindRoundEnd closes one round: Count = the round's delta size
+	// (signed under the general operator: deletions shrink the set),
+	// Total = facts after the round, Duration = the round's wall-clock.
+	KindRoundEnd Kind = "round.end"
+	// KindRuleFire reports one rule's valuations in one round: Rule,
+	// Count = head instantiations (suppressed firings included).
+	KindRuleFire Kind = "rule.fire"
+	// KindOIDInvent reports one invented oid: Rule, Pred = class,
+	// OID = the invented identifier.
+	KindOIDInvent Kind = "oid.invent"
+	// KindMerge reports one parallel sharded delta merge: Round,
+	// Shards, Duration = critical path (longest shard).
+	// Nondeterministic: present only on parallel configurations.
+	KindMerge Kind = "merge"
+	// KindBudget reports consumption against one armed budget axis at a
+	// round boundary: Axis, Count = used, Limit = the effective bound.
+	KindBudget Kind = "budget"
+	// KindGuardCheck reports an in-round guard trip: the coarse
+	// tuple-count check inside rule matching detected cancellation or an
+	// exhausted budget mid-round. Rule, Round, Detail = cause.
+	// Nondeterministic: on parallel configurations the trip can surface
+	// from any worker, and the first tripping predicate varies.
+	KindGuardCheck Kind = "guard.check"
+	// KindAbort reports an aborted evaluation: Axis (budget aborts),
+	// Stratum, Round, Detail = the abort error.
+	KindAbort Kind = "abort"
+	// KindModuleBegin / KindModuleEnd bracket one module application:
+	// Detail = the application mode.
+	KindModuleBegin Kind = "module.begin"
+	KindModuleEnd   Kind = "module.end"
+	// KindClosureRound reports one algres closure round: Round,
+	// Count = tuples inserted this round, Total = cumulative insertions.
+	KindClosureRound Kind = "closure.round"
+)
+
+// Deterministic reports whether events of this kind are part of the
+// determinism contract: their ordered stream is identical for every
+// workers × shards configuration (wall-clock fields excluded).
+func (k Kind) Deterministic() bool {
+	switch k {
+	case KindMerge, KindGuardCheck:
+		return false
+	}
+	return true
+}
+
+// Event is one typed trace event. Fields are kind-specific (zero when
+// not applicable); see the Kind constants for each kind's payload.
+type Event struct {
+	Kind Kind
+	// Time is the emission wall-clock time. Emitters leave it zero —
+	// sinks that want timestamps stamp it on arrival — so the hot path
+	// never calls time.Now for an event the sink will not timestamp.
+	Time time.Time
+	// Stratum is the evaluation stratum (-1 when strata do not apply).
+	Stratum int
+	// Round is the fixpoint round within the stratum.
+	Round int
+	// Rule is the compiled rule id.
+	Rule int
+	// Pred is the predicate the event concerns (e.g. the invented
+	// object's class).
+	Pred string
+	// OID is the invented object identifier (KindOIDInvent).
+	OID int64
+	// Count is the kind-specific count: delta size, firings, tuples.
+	Count int
+	// Total is the kind-specific running total (usually the fact count).
+	Total int
+	// Axis is the budget axis (KindBudget, KindAbort).
+	Axis string
+	// Limit is the effective bound of the axis (KindBudget).
+	Limit int64
+	// Workers and Shards describe the evaluation configuration
+	// (KindEvalBegin); Shard indexes one merge goroutine (KindMerge).
+	// Configuration-dependent: excluded from the determinism contract.
+	Workers, Shards, Shard int
+	// Duration is the wall-clock measurement of timing-carrying kinds.
+	// Excluded from the determinism contract.
+	Duration time.Duration
+	// Detail is a short free-form annotation (mode names, abort causes).
+	Detail string
+}
+
+// Tracer receives trace events. Implementations must be safe for
+// concurrent use: most events are emitted from the evaluation's
+// orchestrating goroutine, but in-round guard trips (KindGuardCheck)
+// can surface from worker goroutines.
+type Tracer interface {
+	Event(Event)
+}
+
+// multi fans events out to several tracers in order.
+type multi []Tracer
+
+func (m multi) Event(ev Event) {
+	for _, t := range m {
+		t.Event(ev)
+	}
+}
+
+// Multi combines tracers into one; nil entries are dropped. Returns nil
+// when nothing remains, so the engine's nil fast path still applies.
+func Multi(tracers ...Tracer) Tracer {
+	var out multi
+	for _, t := range tracers {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

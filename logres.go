@@ -166,6 +166,10 @@ type Database struct {
 	mu   sync.RWMutex
 	st   *module.State
 	opts engine.Options
+	// tracer/metrics are the configured observability sinks; the engine
+	// sees their fan-out through opts.Tracer (see rewireTracer).
+	tracer  Tracer
+	metrics *Metrics
 }
 
 // publish freezes the state's extensional facts and installs it as the
@@ -219,32 +223,34 @@ type Result struct {
 // Exec parses and applies a module with its declared mode (RIDI when none
 // is declared). On success the database state advances; on rejection
 // (inconsistent result, §4.1) or any abort (budget, cancellation, panic)
-// the state is unchanged and the error describes the violation.
-func (db *Database) Exec(src string) (*Result, error) {
-	return db.ExecContext(db.ctx(), src)
+// the state is unchanged and the error describes the violation. Per-call
+// options (WithCallBudget) tighten the database-wide guardrails for this
+// invocation only.
+func (db *Database) Exec(src string, options ...CallOption) (*Result, error) {
+	return db.ExecContext(db.ctx(), src, options...)
 }
 
 // ExecContext is Exec under an explicit cancellation context: canceling
 // aborts the in-flight evaluation with a *CanceledError and the database
 // state stays bit-identical to its pre-application snapshot.
-func (db *Database) ExecContext(ctx context.Context, src string) (*Result, error) {
+func (db *Database) ExecContext(ctx context.Context, src string, options ...CallOption) (*Result, error) {
 	m, err := parser.ParseModule(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.ApplyContext(ctx, m, m.Mode)
+	return db.ApplyContext(ctx, m, m.Mode, options...)
 }
 
 // Apply applies a parsed module with an explicit mode.
-func (db *Database) Apply(m *Module, mode Mode) (*Result, error) {
-	return db.ApplyContext(db.ctx(), m, mode)
+func (db *Database) Apply(m *Module, mode Mode, options ...CallOption) (*Result, error) {
+	return db.ApplyContext(db.ctx(), m, mode, options...)
 }
 
 // ApplyContext is Apply under an explicit cancellation context.
-func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode) (*Result, error) {
+func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode, options ...CallOption) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	opts := db.opts
+	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
 	res, err := module.Apply(db.st, m, mode, opts)
 	if err != nil {
@@ -256,12 +262,12 @@ func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode) (*Re
 
 // Query evaluates a goal (`?- lit, … .`) against the current instance —
 // sugar for a RIDI module containing only the goal.
-func (db *Database) Query(goalSrc string) (*Answer, error) {
-	return db.QueryContext(db.ctx(), goalSrc)
+func (db *Database) Query(goalSrc string, options ...CallOption) (*Answer, error) {
+	return db.QueryContext(db.ctx(), goalSrc, options...)
 }
 
 // QueryContext is Query under an explicit cancellation context.
-func (db *Database) QueryContext(ctx context.Context, goalSrc string) (*Answer, error) {
+func (db *Database) QueryContext(ctx context.Context, goalSrc string, options ...CallOption) (*Answer, error) {
 	goal, err := parser.ParseGoal(goalSrc)
 	if err != nil {
 		return nil, err
@@ -269,7 +275,7 @@ func (db *Database) QueryContext(ctx context.Context, goalSrc string) (*Answer, 
 	m := &ast.Module{Schema: types.NewSchema(), Goal: goal}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	opts := db.opts
+	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
 	res, err := module.Apply(db.st, m, ast.RIDI, opts)
 	if err != nil {
@@ -403,18 +409,18 @@ func (db *Database) Register(src string) error {
 }
 
 // Call applies a registered module by name with its declared mode.
-func (db *Database) Call(name string) (*Result, error) {
-	return db.CallContext(db.ctx(), name)
+func (db *Database) Call(name string, options ...CallOption) (*Result, error) {
+	return db.CallContext(db.ctx(), name, options...)
 }
 
 // CallContext is Call under an explicit cancellation context.
-func (db *Database) CallContext(ctx context.Context, name string) (*Result, error) {
+func (db *Database) CallContext(ctx context.Context, name string, options ...CallOption) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.st.Lib == nil {
 		db.st.Lib = module.NewLibrary()
 	}
-	opts := db.opts
+	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
 	res, err := db.st.Lib.Call(db.st, name, opts)
 	if err != nil {

@@ -1,0 +1,167 @@
+package logres
+
+import (
+	"io"
+	"net/http"
+
+	"logres/internal/engine"
+	"logres/internal/obs"
+)
+
+// Observability surface: evaluation tracing, metrics exposition, and
+// per-call guardrail overrides — the §5 "design, debugging, and
+// monitoring" tooling made production-shaped. A Database with no tracer
+// and no metrics registry pays a nil check per would-be event and
+// nothing else.
+
+// Tracer receives typed evaluation events: stratum and round
+// boundaries with delta sizes, per-round rule firing counts, oid
+// inventions, shard-merge timings, budget consumption, and aborts.
+// Implementations must be safe for concurrent use and must not block —
+// they run inline with evaluation.
+type Tracer = obs.Tracer
+
+// TraceEvent is one typed evaluation event.
+type TraceEvent = obs.Event
+
+// TraceKind discriminates trace events.
+type TraceKind = obs.Kind
+
+// Metrics is a lock-cheap metrics registry: counters, gauges and log₂
+// histograms published via expvar and rendered in Prometheus text
+// exposition format.
+type Metrics = obs.Metrics
+
+// FlightRecorder is a ring-buffer tracer keeping the last N events and
+// dumping them on abort — the post-mortem surface for a query nobody
+// was tracing.
+type FlightRecorder = obs.FlightRecorder
+
+// Stats is the record of what the last evaluation did, including the
+// per-round DeltaCurve (deterministic across serial and parallel
+// configurations).
+type Stats = engine.Stats
+
+// RoundDelta is one point on a Stats delta curve.
+type RoundDelta = engine.RoundDelta
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewJSONLTracer returns a tracer writing one JSON object per event to
+// w, stamped with arrival timestamps.
+func NewJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewCanonicalJSONLTracer is NewJSONLTracer in canonical mode:
+// timestamps, durations, and configuration-dependent fields are
+// stripped and nondeterministic kinds skipped, so the stream for a
+// fixed program is byte-identical across workers × shards
+// configurations.
+func NewCanonicalJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewCanonicalJSONL(w) }
+
+// NewTextTracer returns a tracer writing human-readable one-line
+// renderings of each event to w.
+func NewTextTracer(w io.Writer) *obs.Text { return obs.NewText(w) }
+
+// NewFlightRecorder returns a flight recorder holding the last n
+// events (n <= 0 selects 256).
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }
+
+// MultiTracer fans events out to several tracers (nils are dropped;
+// returns nil when none remain).
+func MultiTracer(tracers ...Tracer) Tracer { return obs.Multi(tracers...) }
+
+// MetricsHandler returns an http.Handler serving m in Prometheus text
+// exposition format, plus /debug/vars and /debug/pprof when mounted
+// via the returned mux — see obs.NewServeMux for the full surface.
+func MetricsHandler(m *Metrics) http.Handler { return obs.NewServeMux(m) }
+
+// WithTracer attaches a tracer to every evaluation the database runs.
+// A nil tracer (the default) keeps the zero-overhead fast path.
+func WithTracer(t Tracer) Option {
+	return func(db *Database) {
+		db.tracer = t
+		db.rewireTracer()
+	}
+}
+
+// WithMetrics attaches a metrics registry: every evaluation updates
+// its counters, gauges, and histograms (rounds, firings, invented
+// oids, aborts by axis, round/merge durations, fact totals).
+func WithMetrics(m *Metrics) Option {
+	return func(db *Database) {
+		db.metrics = m
+		db.rewireTracer()
+	}
+}
+
+// SetTracer replaces the database's tracer at runtime (nil detaches
+// it). Safe for concurrent use; in-flight evaluations keep the tracer
+// they started with.
+func (db *Database) SetTracer(t Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tracer = t
+	db.rewireTracer()
+}
+
+// Metrics returns the database's metrics registry, creating and
+// attaching one on first use.
+func (db *Database) Metrics() *Metrics {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.metrics == nil {
+		db.metrics = obs.NewMetrics()
+		db.rewireTracer()
+	}
+	return db.metrics
+}
+
+// rewireTracer recomputes the effective tracer the engine sees: the
+// user tracer and the metrics adapter fanned together, or nil when
+// neither is attached (the zero-overhead path). Callers hold the write
+// lock or are the sole owner (Open/Load options).
+func (db *Database) rewireTracer() {
+	db.opts.Tracer = obs.Multi(db.tracer, db.metricsTracer())
+}
+
+func (db *Database) metricsTracer() Tracer {
+	if db.metrics == nil {
+		return nil
+	}
+	return db.metrics.Tracer()
+}
+
+// CallOption adjusts one Exec/Query/Apply/Call invocation without
+// touching the database-wide configuration.
+type CallOption func(*callOpts)
+
+type callOpts struct {
+	budget Budget
+}
+
+// WithCallBudget tightens the database-wide budget for one call: each
+// armed axis of b replaces the database's bound only when stricter (a
+// call can narrow what the database allows, never widen it). Aborts
+// surface as the usual typed *BudgetError.
+func WithCallBudget(b Budget) CallOption {
+	return func(c *callOpts) { c.budget = b }
+}
+
+// applyCallOptions folds per-call options into a copy of the engine
+// options. The rounds axis also lowers MaxSteps, which backs the
+// always-on round bound.
+func applyCallOptions(opts engine.Options, cos []CallOption) engine.Options {
+	if len(cos) == 0 {
+		return opts
+	}
+	var c callOpts
+	for _, o := range cos {
+		o(&c)
+	}
+	opts.Budget = opts.Budget.Tighten(c.budget)
+	if n := c.budget.MaxRounds; n > 0 && (opts.MaxSteps == 0 || n < opts.MaxSteps) {
+		opts.MaxSteps = n
+	}
+	return opts
+}
