@@ -1,0 +1,148 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"logres"
+	"logres/internal/bench"
+)
+
+// E15 — concurrent module application. Disjoint data-variant modules are
+// applied from W goroutines through the optimistic path (snapshot,
+// footprint validation, delta merge) and compared against the serial
+// write-locked path on the same total module count; a second sweep forces
+// a growing fraction of write-write overlap to expose the conflict/retry
+// cost. The workload lives here rather than in internal/bench because it
+// drives the public Database API (internal/bench must stay importable
+// from the root package's benchmarks).
+
+const e15Preds = 8
+
+func e15Schema() string {
+	var b strings.Builder
+	b.WriteString("associations\n")
+	for i := 0; i < e15Preds; i++ {
+		fmt.Fprintf(&b, "  Q%d = (x: integer);\n", i)
+	}
+	return b.String()
+}
+
+func e15Module(pred string, i int) string {
+	return fmt.Sprintf("mode ridv.\nrules %s(x: %d).\nend.\n", pred, i)
+}
+
+// e15Serial applies total modules through the serial path, round-robin
+// over the predicates.
+func e15Serial(total int) (time.Duration, error) {
+	db, err := logres.Open(e15Schema())
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if _, err := db.Exec(e15Module(fmt.Sprintf("q%d", i%e15Preds), i)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// e15Concurrent applies total modules from workers goroutines; sharePct
+// percent of each worker's applications target the shared predicate q0,
+// the rest the worker's own predicate. Returns the wall time and the
+// conflict/retry/abort counts.
+func e15Concurrent(total, workers, sharePct int) (time.Duration, [3]int64, error) {
+	m := logres.NewMetrics()
+	db, err := logres.Open(e15Schema(), logres.WithMetrics(m))
+	if err != nil {
+		return 0, [3]int64{}, err
+	}
+	per := total / workers
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own := fmt.Sprintf("q%d", 1+g%(e15Preds-1))
+			for i := 0; i < per; i++ {
+				pred := own
+				if (i*31+g*17)%100 < sharePct {
+					pred = "q0"
+				}
+				if _, err := db.ExecConcurrent(e15Module(pred, g*per+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		// Retry exhaustion under heavy contention is a measured outcome,
+		// not a benchmark failure.
+		var ce *logres.ConflictError
+		if !errors.As(err, &ce) {
+			return 0, [3]int64{}, err
+		}
+	}
+	counts := [3]int64{
+		m.Counter("logres_module_conflicts_total").Value(),
+		m.Counter("logres_module_retries_total").Value(),
+		m.Counter(`logres_aborts_total{axis="retries"}`).Value(),
+	}
+	return elapsed, counts, nil
+}
+
+func modsPerSec(total int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(total) / d.Seconds()
+}
+
+func runE15(quick bool) (*bench.Table, error) {
+	t := &bench.Table{
+		Title:   "E15 — concurrent module application (optimistic commit)",
+		Columns: []string{"workload", "workers", "share%", "modules", "conflicts", "retries", "aborts", "time", "mod/s", "speedup"},
+	}
+	total := 192
+	if quick {
+		total = 48
+	}
+
+	dSerial, err := e15Serial(total)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("serial", 1, 0, total, 0, 0, 0, dSerial, modsPerSec(total, dSerial), 1.0)
+
+	// Disjoint scaling: every worker owns its predicate.
+	for _, w := range []int{1, 2, 4, 8} {
+		d, counts, err := e15Concurrent(total, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("disjoint", w, 0, total, counts[0], counts[1], counts[2],
+			d, modsPerSec(total, d), float64(dSerial)/float64(d))
+	}
+
+	// Conflict sweep at four workers: a growing share of applications
+	// collide on one predicate.
+	for _, share := range []int{25, 50, 100} {
+		d, counts, err := e15Concurrent(total, 4, share)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("contended", 4, share, total, counts[0], counts[1], counts[2],
+			d, modsPerSec(total, d), float64(dSerial)/float64(d))
+	}
+	return t, nil
+}

@@ -57,6 +57,7 @@ func main() {
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
+		{"E15", runE15},
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -90,8 +91,10 @@ type smokeCase struct {
 
 // runSmoke measures the E1 (serial) and E12 (parallel) chain-closure
 // workloads with tracing off and with a JSONL tracer writing to
-// io.Discard, and writes the ns/op comparison as JSON — the CI
-// bench-smoke artifact guarding the tracer's overhead contract.
+// io.Discard, plus the E15 disjoint-module throughput comparison (serial
+// write-locked path vs four optimistic appliers), and writes the ns/op
+// comparison as JSON — the CI bench-smoke artifact guarding the tracer's
+// overhead and concurrent-commit contracts.
 func runSmoke(path string) error {
 	cases := []smokeCase{
 		{name: "E1_tc_chain128_serial", workers: 1, shards: 1, edges: 128},
@@ -132,6 +135,25 @@ func runSmoke(path string) error {
 			})
 		}
 	}
+	// E15 throughput rows: one module application is one "op".
+	const e15Total = 96
+	dSerial, err := e15Serial(e15Total)
+	if err != nil {
+		return err
+	}
+	results = append(results, smokeResult{
+		Name: "E15_disjoint_serial", Tracer: "off", Workers: 1, Shards: 1,
+		Iters: e15Total, NsPerOp: dSerial.Nanoseconds() / e15Total,
+	})
+	dConc, _, err := e15Concurrent(e15Total, 4, 0)
+	if err != nil {
+		return err
+	}
+	results = append(results, smokeResult{
+		Name: "E15_disjoint_conc4", Tracer: "off", Workers: 4, Shards: 1,
+		Iters: e15Total, NsPerOp: dConc.Nanoseconds() / e15Total,
+	})
+
 	out, err := json.MarshalIndent(map[string]any{"suite": "tracer-overhead", "results": results}, "", "  ")
 	if err != nil {
 		return err

@@ -25,6 +25,10 @@
 //	                dump them to stderr when an evaluation aborts
 //	-metrics-addr a serve /metrics (Prometheus text), /debug/vars
 //	                (expvar), and /debug/pprof on addr (e.g. :6060)
+//	-concurrent     apply modules optimistically (snapshot + footprint
+//	                validation + retry) instead of under the write lock
+//	-max-retries n  conflict retry bound for -concurrent (0 = default,
+//	                negative = fail on the first conflict)
 //	-i              start an interactive REPL after applying the modules
 //
 // Ctrl-C cancels the in-flight evaluation: non-interactive runs exit
@@ -53,6 +57,8 @@ type config struct {
 	goal        string
 	dump        bool
 	interactive bool
+	concurrent  bool
+	maxRetries  int
 	budget      logres.Budget
 	trace       string
 	flight      int
@@ -74,6 +80,8 @@ func main() {
 	flag.StringVar(&cfg.trace, "trace", "", `trace destination: JSONL file, "-" (stderr), or "text:PATH"`)
 	flag.IntVar(&cfg.flight, "flight", 0, "flight-recorder size; dumps the last n events to stderr on abort (0 = off)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	flag.BoolVar(&cfg.concurrent, "concurrent", false, "apply modules optimistically (snapshot + footprint validation + retry)")
+	flag.IntVar(&cfg.maxRetries, "max-retries", 0, "conflict retry bound for -concurrent (0 = default, negative = no retries)")
 	flag.BoolVar(&cfg.interactive, "i", false, "start an interactive REPL after applying the modules")
 	flag.Parse()
 	cfg.moduleFiles = flag.Args()
@@ -98,6 +106,9 @@ func run(ctx context.Context, cfg config) error {
 	var opts []logres.Option
 	if cfg.budget != (logres.Budget{}) {
 		opts = append(opts, logres.WithBudget(cfg.budget))
+	}
+	if cfg.maxRetries != 0 {
+		opts = append(opts, logres.WithMaxRetries(cfg.maxRetries))
 	}
 
 	tracer, closeTrace, err := buildTracer(cfg)
@@ -156,7 +167,11 @@ func run(ctx context.Context, cfg config) error {
 		if err != nil {
 			return err
 		}
-		res, err := db.ExecContext(ctx, string(src))
+		exec := db.ExecContext
+		if cfg.concurrent {
+			exec = db.ExecConcurrentContext
+		}
+		res, err := exec(ctx, string(src))
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

@@ -25,6 +25,8 @@ import (
 //	.register <module…end.>    register the next module instead of applying
 //	.save FILE / .load FILE    snapshot I/O
 //	.trace on|off              toggle a human-readable evaluation trace
+//	.concurrent on|off         apply modules optimistically (snapshot +
+//	                           footprint validation + conflict retry)
 //	.metrics                   print the metrics registry (Prometheus text)
 //	.help / .quit
 func repl(db *logres.Database, in io.Reader, out io.Writer) error {
@@ -38,6 +40,7 @@ func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	registering := false
+	concurrent := false
 	prompt := func() {
 		if buf.Len() == 0 {
 			fmt.Fprint(out, "logres> ")
@@ -51,7 +54,7 @@ func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 		trimmed := strings.TrimSpace(line)
 		switch {
 		case buf.Len() == 0 && strings.HasPrefix(trimmed, "."):
-			if done := replCommand(db, trimmed, out, &registering, sig); done {
+			if done := replCommand(db, trimmed, out, &registering, &concurrent, sig); done {
 				return nil
 			}
 			prompt()
@@ -90,7 +93,11 @@ func repl(db *logres.Database, in io.Reader, out io.Writer) error {
 				var res *logres.Result
 				err := withInterrupt(sig, func(ctx context.Context) error {
 					var err error
-					res, err = db.ExecContext(ctx, src)
+					if concurrent {
+						res, err = db.ExecConcurrentContext(ctx, src)
+					} else {
+						res, err = db.ExecContext(ctx, src)
+					}
 					return err
 				})
 				if err != nil {
@@ -133,12 +140,17 @@ func printEvalError(out io.Writer, err error) {
 		fmt.Fprintln(out, "interrupted (database unchanged):", err)
 		return
 	}
+	var conflict *logres.ConflictError
+	if errors.As(err, &conflict) {
+		fmt.Fprintln(out, "conflict (database unchanged):", err)
+		return
+	}
 	fmt.Fprintln(out, "error:", err)
 }
 
 // replCommand executes a dot command; it reports whether the REPL should
 // exit.
-func replCommand(db *logres.Database, cmd string, out io.Writer, registering *bool, sig <-chan os.Signal) bool {
+func replCommand(db *logres.Database, cmd string, out io.Writer, registering, concurrent *bool, sig <-chan os.Signal) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
@@ -146,7 +158,18 @@ func replCommand(db *logres.Database, cmd string, out io.Writer, registering *bo
 	case ".help":
 		fmt.Fprintln(out, "commands: ?- goal.   <module…end.>   .dump .schema .explain .modules")
 		fmt.Fprintln(out, "          .call NAME .register .save FILE .load FILE")
-		fmt.Fprintln(out, "          .trace on|off .metrics .quit")
+		fmt.Fprintln(out, "          .trace on|off .concurrent on|off .metrics .quit")
+	case ".concurrent":
+		switch {
+		case len(fields) == 2 && fields[1] == "on":
+			*concurrent = true
+			fmt.Fprintln(out, "concurrent application on (optimistic commit with conflict retry)")
+		case len(fields) == 2 && fields[1] == "off":
+			*concurrent = false
+			fmt.Fprintln(out, "concurrent application off")
+		default:
+			fmt.Fprintln(out, "usage: .concurrent on|off")
+		}
 	case ".trace":
 		switch {
 		case len(fields) == 2 && fields[1] == "on":

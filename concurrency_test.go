@@ -2,9 +2,12 @@ package logres
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Concurrent readers and a writer on one Database, exercised under -race:
@@ -100,6 +103,122 @@ end.
 	if want := 25 * 26 / 2; n != want {
 		t.Fatalf("tc count = %d, want %d", n, want)
 	}
+}
+
+// Mixed optimistic/serial stress: N goroutines interleave ApplyConcurrent,
+// QueryContext, and serial Exec for a fixed wall budget. Invariants checked
+// under -race: no lost updates (each successfully committed fact is present
+// at the end, counted per predicate), and every failed application is a
+// typed guard error — never an untyped one, never a corrupted state.
+func TestConcurrentModuleMixedStress(t *testing.T) {
+	db, err := Open(`
+associations
+  S0 = (x: integer);
+  S1 = (x: integer);
+  S2 = (x: integer);
+  S3 = (x: integer);
+  SHARED = (x: integer);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	deadline := time.Now().Add(150 * time.Millisecond)
+	var wg sync.WaitGroup
+	fatal := make(chan error, 16)
+	successes := make([]int, writers)
+	var serialWrites int
+
+	// Optimistic writers: each owns a predicate and commits unique facts;
+	// conflicts (with the serial writer's universal commits) retry inside
+	// ApplyConcurrent, and exhaustion is a typed, tolerated abort.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); {
+				src := fmt.Sprintf("mode ridv.\nrules s%d(x: %d).\nend.\n", g, i)
+				_, err := db.ExecConcurrent(src)
+				switch {
+				case err == nil:
+					successes[g]++
+					i++
+				case isTypedGuardError(err):
+					// Conflict-retry exhaustion or a budget trip: retry the
+					// same fact so the success count matches the EDB.
+				default:
+					fatal <- fmt.Errorf("writer %d: untyped error %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Serial writer: plain Exec takes the write lock and commits a
+	// universal footprint — the conflict generator for the optimistic path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			src := fmt.Sprintf("mode ridv.\nrules shared(x: %d).\nend.\n", i)
+			if _, err := db.Exec(src); err != nil {
+				fatal <- fmt.Errorf("serial writer: %v", err)
+				return
+			}
+			serialWrites++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Readers: context queries and snapshots against the moving state.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for time.Now().Before(deadline) {
+				var err error
+				if r == 0 {
+					_, err = db.QueryContext(ctx, `?- shared(x: X).`)
+				} else {
+					err = db.Save(&bytes.Buffer{})
+				}
+				if err != nil {
+					fatal <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(fatal)
+	for err := range fatal {
+		t.Error(err)
+	}
+
+	// No lost updates: every acknowledged commit is in the final state.
+	for g := 0; g < writers; g++ {
+		if got := db.EDBCount(fmt.Sprintf("s%d", g)); got != successes[g] {
+			t.Errorf("s%d: committed %d facts, EDB has %d", g, successes[g], got)
+		}
+	}
+	if got := db.EDBCount("shared"); got != serialWrites {
+		t.Errorf("shared: committed %d facts, EDB has %d", serialWrites, got)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Errorf("final state inconsistent: %v", err)
+	}
+}
+
+// isTypedGuardError reports whether err is one of the typed abort errors
+// an application is allowed to fail with under contention.
+func isTypedGuardError(err error) bool {
+	var conflict *ConflictError
+	var budget *BudgetError
+	var canceled *CanceledError
+	return errors.As(err, &conflict) || errors.As(err, &budget) || errors.As(err, &canceled)
 }
 
 // A snapshot round-trip must preserve behaviour with the state frozen at

@@ -1,0 +1,222 @@
+package logres
+
+import (
+	"context"
+	"time"
+
+	"logres/internal/guard"
+	"logres/internal/module"
+	"logres/internal/obs"
+	"logres/internal/parser"
+)
+
+// Optimistic concurrent module application (DESIGN.md §9). Serial
+// Exec/Apply hold the write lock for the whole evaluation; concurrent
+// application holds it only for a short commit critical section:
+//
+//  1. snapshot — read-lock just long enough to capture the published
+//     (frozen) state and the commit-log epoch;
+//  2. apply — run the module against the snapshot outside any lock,
+//     recording its read/write predicate footprint (static analysis of
+//     the compiled rules, narrowed/widened by the runtime delta);
+//  3. validate + commit — write-lock, check the footprint against every
+//     write committed since the snapshot epoch, and on success merge
+//     the fact delta onto the current committed state (or install the
+//     result wholesale when nothing intervened);
+//  4. retry — on conflict, back off (capped exponential) and restart
+//     from a fresh snapshot, up to the retry budget; exhaustion surfaces
+//     a *ConflictError naming both footprints.
+//
+// Disjoint modules therefore evaluate in parallel and only serialize
+// for the (cheap) commit; conflicting modules serialize through
+// retries, producing a state bit-identical to some serial application
+// order.
+
+// DefaultMaxRetries is the retry bound of ApplyConcurrent when neither
+// WithMaxRetries nor a per-call Budget.MaxRetries sets one.
+const DefaultMaxRetries = 8
+
+// Backoff schedule for conflict retries: capped exponential, starting
+// small (conflicts usually resolve as soon as the winner's commit
+// finishes) and never sleeping long enough to dominate latency.
+const (
+	retryBaseBackoff = 200 * time.Microsecond
+	retryMaxBackoff  = 10 * time.Millisecond
+)
+
+// WithMaxRetries bounds the commit retries of every concurrent
+// application (Budget.MaxRetries). n > 0 sets the bound, n == 0
+// restores DefaultMaxRetries, n < 0 disables retries entirely — the
+// first conflict surfaces the *ConflictError.
+func WithMaxRetries(n int) Option {
+	return func(db *Database) { db.opts.Budget.MaxRetries = n }
+}
+
+// ExecConcurrent parses and applies a module like Exec, but
+// optimistically: evaluation runs against a snapshot outside the write
+// lock and commits via footprint validation, so applications touching
+// disjoint predicates proceed in parallel. See ApplyConcurrent for the
+// protocol and failure mode.
+func (db *Database) ExecConcurrent(src string, options ...CallOption) (*Result, error) {
+	return db.ExecConcurrentContext(db.ctx(), src, options...)
+}
+
+// ExecConcurrentContext is ExecConcurrent under an explicit context.
+func (db *Database) ExecConcurrentContext(ctx context.Context, src string, options ...CallOption) (*Result, error) {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.ApplyConcurrentContext(ctx, m, m.Mode, options...)
+}
+
+// ApplyConcurrent applies a parsed module with optimistic concurrency
+// control: snapshot, evaluate outside the lock, validate the read/write
+// footprint against commits since the snapshot, merge the delta under a
+// short critical section. Conflicts retry with capped exponential
+// backoff up to the retry budget (WithMaxRetries / Budget.MaxRetries,
+// default DefaultMaxRetries); exhaustion returns a *ConflictError
+// carrying both footprints. All other failure modes (rejection, budget,
+// cancellation, panic) are identical to Apply, and the database state
+// is untouched on any error.
+func (db *Database) ApplyConcurrent(m *Module, mode Mode, options ...CallOption) (*Result, error) {
+	return db.ApplyConcurrentContext(db.ctx(), m, mode, options...)
+}
+
+// testConcurrentPreCommit, when non-nil, runs after the snapshot
+// application and before the commit critical section of each attempt —
+// the injection point conflict tests use to commit a competing write in
+// the validation window.
+var testConcurrentPreCommit func(attempt int)
+
+// ApplyConcurrentContext is ApplyConcurrent under an explicit context;
+// cancellation aborts evaluation between rounds and backoff sleeps
+// immediately, surfacing a *CanceledError.
+func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode Mode, options ...CallOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for attempt := 0; ; attempt++ {
+		// Snapshot: the published state is frozen and never mutated in
+		// place, so holding the pointer outside the lock is safe; the
+		// epoch read under the same lock tells validation exactly which
+		// commits this evaluation could not have seen.
+		db.mu.RLock()
+		st := db.st
+		epoch := db.log.Epoch()
+		opts := applyCallOptions(db.opts, options)
+		db.mu.RUnlock()
+		opts.Ctx = ctx
+		tracer := opts.Tracer
+
+		maxRetries := opts.Budget.MaxRetries
+		switch {
+		case maxRetries == 0:
+			maxRetries = DefaultMaxRetries
+		case maxRetries < 0:
+			maxRetries = 0
+		}
+
+		sr, err := module.ApplySnapshot(st, m, mode, opts)
+		if err != nil {
+			return nil, err
+		}
+		if hook := testConcurrentPreCommit; hook != nil {
+			hook(attempt)
+		}
+
+		_, path, pred, theirs, ok := db.tryCommit(epoch, sr)
+		if ok {
+			if tracer != nil {
+				tracer.Event(obs.Event{Kind: obs.KindModuleCommit, Pred: m.Name,
+					Round: attempt, Count: len(sr.Adds) + len(sr.Removes), Detail: path})
+			}
+			return &Result{Answer: sr.Res.Answer, Mode: mode}, nil
+		}
+
+		if tracer != nil {
+			tracer.Event(obs.Event{Kind: obs.KindModuleConflict, Pred: pred, Round: attempt,
+				Detail: "mine: " + sr.Footprint.String() + "; theirs: " + theirs.String()})
+		}
+		if attempt >= maxRetries {
+			cerr := &ConflictError{Pred: pred, Retries: attempt, Mine: sr.Footprint, Theirs: theirs}
+			if tracer != nil {
+				// The abort event is what flight recorders key their
+				// dump on and what the metrics adapter counts under
+				// logres_aborts_total{axis="retries"}.
+				tracer.Event(obs.Event{Kind: obs.KindAbort, Axis: string(AxisRetries),
+					Stratum: -1, Round: attempt, Detail: cerr.Error()})
+			}
+			return nil, cerr
+		}
+
+		backoff := retryBaseBackoff << attempt
+		if backoff > retryMaxBackoff {
+			backoff = retryMaxBackoff
+		}
+		if tracer != nil {
+			tracer.Event(obs.Event{Kind: obs.KindModuleRetry, Pred: m.Name,
+				Round: attempt + 1, Duration: backoff})
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, &guard.CanceledError{Stratum: -1, Round: attempt, Err: ctx.Err()}
+		case <-timer.C:
+		}
+	}
+}
+
+// tryCommit is the commit critical section: validate the attempt's
+// footprint against the writes committed since its snapshot epoch and
+// install the outcome. It returns the committed state (nil for
+// read-only), the commit path for tracing, and on failure the
+// conflicting predicate plus the committed footprint it collided with.
+func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *module.State, path, pred string, theirs Footprint, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	if sr.ReadOnly {
+		// Queries validate nothing: the answer was computed against a
+		// consistent snapshot, which equals the serial order in which
+		// the query ran at its snapshot point.
+		return nil, "read-only", "", Footprint{}, true
+	}
+	if sr.Replace {
+		// Whole-state replacement is only sound when nothing committed
+		// since the snapshot — it carries no mergeable delta.
+		if db.log.Epoch() != epoch {
+			return nil, "", "*", Footprint{Universal: true}, false
+		}
+		db.publish(sr.Res.State)
+		db.log.Record(Footprint{Universal: true})
+		return sr.Res.State, "replace", "", Footprint{}, true
+	}
+	if p, their, valid := db.log.Validate(epoch, sr.Footprint); !valid {
+		return nil, "", p, their, false
+	}
+	if db.log.Epoch() == epoch {
+		// Nothing committed since the snapshot: the evaluated result
+		// state is already the correct successor.
+		next, path = sr.Res.State, "fast"
+	} else {
+		// Disjoint concurrent commits landed: replay the delta onto the
+		// current committed state.
+		next, path = module.CommitDelta(db.st, sr), "merge"
+	}
+	db.publish(next)
+	db.log.Record(Footprint{Writes: sr.Footprint.Writes})
+	return next, path, "", Footprint{}, true
+}
+
+// CommitEpoch returns the database's current commit epoch — the number
+// of state-changing commits recorded so far (introspection/tests).
+func (db *Database) CommitEpoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.log.Epoch()
+}
+
+// commitLogWindow exposes the validation window for tests.
+func (db *Database) commitLogWindow() int { return db.log.Window() }

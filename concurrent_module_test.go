@@ -1,0 +1,410 @@
+package logres
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"logres/internal/engine"
+)
+
+// ---------------------------------------------------------------------------
+// Property test: concurrent application of disjoint modules is equivalent to
+// serial application in either order (bit-identical Save output), across
+// workers × shards configurations; conflicting modules serialize to one of
+// the two serial orders.
+// ---------------------------------------------------------------------------
+
+const concurrentSchema = `
+associations
+  P0 = (x: integer);
+  P1 = (x: integer);
+  P2 = (x: integer);
+  P3 = (x: integer);
+  P4 = (x: integer);
+  P5 = (x: integer);
+`
+
+// randModule builds a random data-variant module confined to the given
+// predicate pool: a handful of facts plus, sometimes, a copy rule between
+// two pool predicates.
+func randModule(rng *rand.Rand, pool []string) string {
+	var b strings.Builder
+	b.WriteString("mode ridv.\nrules\n")
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		fmt.Fprintf(&b, "  %s(x: %d).\n", pool[rng.Intn(len(pool))], rng.Intn(50))
+	}
+	if len(pool) > 1 && rng.Intn(2) == 0 {
+		from := rng.Intn(len(pool))
+		to := (from + 1 + rng.Intn(len(pool)-1)) % len(pool)
+		fmt.Fprintf(&b, "  %s(x: X) <- %s(x: X).\n", pool[to], pool[from])
+	}
+	b.WriteString("end.\n")
+	return b.String()
+}
+
+func saveBytes(t *testing.T, db *Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// serialState opens a fresh database and applies the modules in order with
+// the plain (write-locked) path, returning the Save snapshot.
+func serialState(t *testing.T, opts []Option, mods ...string) []byte {
+	t.Helper()
+	db, err := Open(concurrentSchema, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mods {
+		if _, err := db.Exec(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return saveBytes(t, db)
+}
+
+// concurrentState opens a fresh database and applies the two modules from
+// two goroutines via the optimistic path, returning the Save snapshot and
+// the metrics registry for conflict accounting.
+func concurrentState(t *testing.T, opts []Option, a, b string) ([]byte, *Metrics) {
+	t.Helper()
+	m := NewMetrics()
+	db, err := Open(concurrentSchema, append([]Option{WithMetrics(m)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, src := range []string{a, b} {
+		wg.Add(1)
+		go func(src string) {
+			defer wg.Done()
+			if _, err := db.ExecConcurrent(src); err != nil {
+				errs <- err
+			}
+		}(src)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return saveBytes(t, db), m
+}
+
+func TestConcurrentDisjointEquivalentToSerial(t *testing.T) {
+	preds := []string{"p0", "p1", "p2", "p3", "p4", "p5"}
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 4} {
+			opts := []Option{WithWorkers(workers), WithShards(shards)}
+			rng := rand.New(rand.NewSource(int64(97*workers + shards)))
+			for trial := 0; trial < 5; trial++ {
+				// Split the predicates into two disjoint pools.
+				perm := rng.Perm(len(preds))
+				var poolA, poolB []string
+				for i, p := range perm {
+					if i < 3 {
+						poolA = append(poolA, preds[p])
+					} else {
+						poolB = append(poolB, preds[p])
+					}
+				}
+				a, b := randModule(rng, poolA), randModule(rng, poolB)
+
+				ab := serialState(t, opts, a, b)
+				ba := serialState(t, opts, b, a)
+				if !bytes.Equal(ab, ba) {
+					t.Fatalf("w=%d s=%d trial %d: disjoint serial orders differ\nA:\n%s\nB:\n%s",
+						workers, shards, trial, a, b)
+				}
+				got, m := concurrentState(t, opts, a, b)
+				if !bytes.Equal(got, ab) {
+					t.Fatalf("w=%d s=%d trial %d: concurrent state differs from serial\nA:\n%s\nB:\n%s",
+						workers, shards, trial, a, b)
+				}
+				// Disjoint footprints must commit without a single conflict.
+				if n := m.Counter("logres_module_conflicts_total").Value(); n != 0 {
+					t.Fatalf("w=%d s=%d trial %d: %d conflicts on disjoint modules\nA:\n%s\nB:\n%s",
+						workers, shards, trial, n, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentConflictingSerializes(t *testing.T) {
+	preds := []string{"p0", "p1", "p2", "p3", "p4", "p5"}
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 4} {
+			opts := []Option{WithWorkers(workers), WithShards(shards)}
+			rng := rand.New(rand.NewSource(int64(31*workers + shards)))
+			for trial := 0; trial < 5; trial++ {
+				// Overlapping pools: both modules may read and write the
+				// two shared predicates.
+				perm := rng.Perm(len(preds))
+				shared := []string{preds[perm[0]], preds[perm[1]]}
+				poolA := append([]string{preds[perm[2]], preds[perm[3]]}, shared...)
+				poolB := append([]string{preds[perm[4]], preds[perm[5]]}, shared...)
+				a, b := randModule(rng, poolA), randModule(rng, poolB)
+
+				ab := serialState(t, opts, a, b)
+				ba := serialState(t, opts, b, a)
+				got, _ := concurrentState(t, opts, a, b)
+				if !bytes.Equal(got, ab) && !bytes.Equal(got, ba) {
+					t.Fatalf("w=%d s=%d trial %d: concurrent state matches neither serial order\nA:\n%s\nB:\n%s",
+						workers, shards, trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Conflict and retry mechanics.
+// ---------------------------------------------------------------------------
+
+// TestConflictRetrySucceeds forces exactly one conflict by committing a
+// serial write in the first attempt's validation window, then lets the
+// retry land.
+func TestConflictRetrySucceeds(t *testing.T) {
+	m := NewMetrics()
+	db, err := Open(concurrentSchema, WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testConcurrentPreCommit = func(attempt int) {
+		if attempt == 0 {
+			if _, err := db.Exec(`
+mode ridv.
+rules p0(x: 99).
+end.
+`); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	defer func() { testConcurrentPreCommit = nil }()
+
+	if _, err := db.ExecConcurrent(`
+mode ridv.
+rules p1(x: 1).
+end.
+`); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if n := db.EDBCount("p1"); n != 1 {
+		t.Fatalf("p1 count = %d", n)
+	}
+	if n := db.EDBCount("p0"); n != 1 {
+		t.Fatalf("serial write lost: p0 count = %d", n)
+	}
+	if n := m.Counter("logres_module_conflicts_total").Value(); n != 1 {
+		t.Fatalf("conflicts = %d, want 1", n)
+	}
+	if n := m.Counter("logres_module_retries_total").Value(); n != 1 {
+		t.Fatalf("retries = %d, want 1", n)
+	}
+	if n := m.Counter("logres_module_commits_total").Value(); n != 1 {
+		t.Fatalf("commits = %d, want 1", n)
+	}
+}
+
+// TestRetryExhaustionReturnsConflictError disables retries and checks the
+// typed error carries both footprints.
+func TestRetryExhaustionReturnsConflictError(t *testing.T) {
+	db, err := Open(concurrentSchema, WithMaxRetries(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testConcurrentPreCommit = func(int) {
+		if _, err := db.Exec(`
+mode ridv.
+rules p0(x: 99).
+end.
+`); err != nil {
+			t.Error(err)
+		}
+	}
+	defer func() { testConcurrentPreCommit = nil }()
+
+	_, err = db.ExecConcurrent(`
+mode ridv.
+rules p1(x: 1).
+end.
+`)
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ConflictError", err)
+	}
+	// The serial competitor commits a universal write, so the conflict
+	// names the wildcard and the error renders both footprints.
+	if ce.Pred != "*" {
+		t.Fatalf("conflict pred = %q", ce.Pred)
+	}
+	if !ce.Theirs.Universal {
+		t.Fatalf("theirs = %+v, want universal", ce.Theirs)
+	}
+	for _, want := range []string{"mine:", "theirs:", "writes=[p1]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	// The failed application must not have leaked any facts.
+	if n := db.EDBCount("p1"); n != 0 {
+		t.Fatalf("aborted module left %d p1 facts", n)
+	}
+}
+
+// TestFlightRecorderDumpsOnRetryExhaustion — retry exhaustion is an abort
+// like any budget trip: the flight recorder must dump its ring on it.
+func TestFlightRecorderDumpsOnRetryExhaustion(t *testing.T) {
+	rec := NewFlightRecorder(64)
+	var dump bytes.Buffer
+	rec.SetDumpOnAbort(&dump)
+	db, err := Open(concurrentSchema, WithMaxRetries(-1), WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testConcurrentPreCommit = func(int) {
+		if _, err := db.Exec(`
+mode ridv.
+rules p0(x: 99).
+end.
+`); err != nil {
+			t.Error(err)
+		}
+	}
+	defer func() { testConcurrentPreCommit = nil }()
+
+	_, err = db.ExecConcurrent(`
+mode ridv.
+rules p1(x: 1).
+end.
+`)
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ConflictError", err)
+	}
+	if dump.Len() == 0 {
+		t.Fatal("flight recorder did not dump on retry exhaustion")
+	}
+	for _, want := range []string{"abort", "retries"} {
+		if !strings.Contains(dump.String(), want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump.String())
+		}
+	}
+}
+
+// TestCanceledBackoffReturnsCanceledError: cancellation during the retry
+// backoff surfaces the usual typed *CanceledError.
+func TestCanceledBackoffReturnsCanceledError(t *testing.T) {
+	db, err := Open(concurrentSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testConcurrentPreCommit = func(int) {
+		// Force a conflict, then cancel: the retry backoff must notice.
+		if _, err := db.Exec(`
+mode ridv.
+rules p0(x: 99).
+end.
+`); err != nil {
+			t.Error(err)
+		}
+		cancel()
+	}
+	defer func() { testConcurrentPreCommit = nil }()
+
+	_, err = db.ExecConcurrentContext(ctx, `
+mode ridv.
+rules p1(x: 1).
+end.
+`)
+	var canceled *CanceledError
+	if !errors.As(err, &canceled) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+}
+
+// TestCommitEpochAdvances: every state-changing commit (serial or
+// concurrent) bumps the epoch; reads do not.
+func TestCommitEpochAdvances(t *testing.T) {
+	db, err := Open(concurrentSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := db.CommitEpoch()
+	if _, err := db.Exec(`
+mode ridv.
+rules p0(x: 1).
+end.
+`); err != nil {
+		t.Fatal(err)
+	}
+	if db.CommitEpoch() != e0+1 {
+		t.Fatalf("serial commit epoch = %d, want %d", db.CommitEpoch(), e0+1)
+	}
+	if _, err := db.ExecConcurrent(`
+mode ridv.
+rules p1(x: 1).
+end.
+`); err != nil {
+		t.Fatal(err)
+	}
+	if db.CommitEpoch() != e0+2 {
+		t.Fatalf("concurrent commit epoch = %d, want %d", db.CommitEpoch(), e0+2)
+	}
+	if _, err := db.Query(`?- p0(x: X).`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecConcurrent(`
+goal
+  ?- p0(x: X).
+end.
+`); err != nil {
+		t.Fatal(err)
+	}
+	if db.CommitEpoch() != e0+2 {
+		t.Fatalf("reads advanced the epoch to %d", db.CommitEpoch())
+	}
+	if db.commitLogWindow() <= 0 {
+		t.Fatal("commit log has no retention window")
+	}
+}
+
+// TestApplyCallOptionsRoundsCoupleToMaxSteps covers the MaxRounds →
+// MaxSteps coupling of per-call budgets: the rounds axis lowers the
+// always-on step bound, never raises it.
+func TestApplyCallOptionsRoundsCoupleToMaxSteps(t *testing.T) {
+	base := engine.Options{MaxSteps: 10}
+	if got := applyCallOptions(base, []CallOption{WithCallBudget(Budget{MaxRounds: 3})}); got.MaxSteps != 3 {
+		t.Fatalf("stricter rounds did not lower MaxSteps: %d", got.MaxSteps)
+	}
+	if got := applyCallOptions(base, []CallOption{WithCallBudget(Budget{MaxRounds: 20})}); got.MaxSteps != 10 {
+		t.Fatalf("looser rounds changed MaxSteps: %d", got.MaxSteps)
+	}
+	if got := applyCallOptions(engine.Options{}, []CallOption{WithCallBudget(Budget{MaxRounds: 7})}); got.MaxSteps != 7 {
+		t.Fatalf("unbounded base did not adopt the rounds bound: %d", got.MaxSteps)
+	}
+	if got := applyCallOptions(base, nil); got.MaxSteps != 10 {
+		t.Fatalf("no options changed MaxSteps: %d", got.MaxSteps)
+	}
+	// The budget itself still tightens per axis.
+	got := applyCallOptions(engine.Options{Budget: Budget{MaxRounds: 5}},
+		[]CallOption{WithCallBudget(Budget{MaxRounds: 9, MaxRetries: 2})})
+	if got.Budget.MaxRounds != 5 || got.Budget.MaxRetries != 2 {
+		t.Fatalf("budget tighten = %+v", got.Budget)
+	}
+}

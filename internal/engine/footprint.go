@@ -1,0 +1,152 @@
+package engine
+
+import "sort"
+
+// RuleFootprint is the static predicate-level access analysis of one
+// compiled program: which predicates an evaluation may read and which it
+// may write. The module layer widens it with mode- and schema-level
+// accesses (pseudo-predicates, referential-integrity reads) to build the
+// guard.Footprint that optimistic concurrent application validates.
+//
+// The analysis is conservative in the only direction that is sound for
+// concurrency control: it may over-approximate (report an access that
+// never happens at runtime — a spurious conflict costs a retry) but
+// never under-approximates (miss an access — that would admit a
+// non-serializable interleaving).
+type RuleFootprint struct {
+	// Reads are the predicates any rule or denial body may match against:
+	// class and association predicates, plus the "$fn$"-prefixed store
+	// names of data functions read through function-application terms.
+	Reads []string
+	// Writes are the predicates any rule head may derive into, closed
+	// under rule chaining: if a rule's body reads a written predicate,
+	// its head is written too. The closure covers the generated
+	// isa-propagation rules, so writing a subclass also writes its
+	// transitive superclasses.
+	Writes []string
+	// Deletes is the subset of Writes produced by negated (deleting)
+	// heads.
+	Deletes []string
+	// Inventive reports whether any rule invents oids (the evaluation
+	// advances the oid counter).
+	Inventive bool
+	// Universal reports that the evaluation may read the entire
+	// extension: some negated literal enumerates unbound variables over
+	// the active domain, which is built by scanning every predicate.
+	Universal bool
+}
+
+// headStore names the FactSet predicate a head derives into.
+func headStore(h *headSpec) string {
+	if h.kind == hFunc {
+		return functionStore(h.pred)
+	}
+	return h.pred
+}
+
+// Footprint computes the program's static read/write footprint. User
+// rule bodies always count as reads; the bodies of generated
+// isa-propagation rules do not — a generated rule only re-derives facts
+// already present in a consistent extension unless its body predicate is
+// itself written, and in that case the propagated facts derive from this
+// evaluation's own writes, which the chaining closure already covers.
+func (p *Program) Footprint() RuleFootprint {
+	reads := map[string]bool{}
+	writes := map[string]bool{}
+	deletes := map[string]bool{}
+	var fp RuleFootprint
+
+	scanBody := func(r *crule) {
+		for _, l := range r.body {
+			if l.kind == pkClass || l.kind == pkAssoc {
+				reads[l.pred] = true
+			}
+			if len(l.adVars) > 0 {
+				fp.Universal = true
+			}
+		}
+		for _, fn := range ruleFuncReadsAll(r) {
+			reads[functionStore(fn)] = true
+		}
+	}
+
+	// Seeds: every user-written rule may fire; generated rules only
+	// chain.
+	for _, r := range p.rules {
+		if r.generated {
+			continue
+		}
+		scanBody(r)
+		writes[headStore(r.head)] = true
+		if r.head.negated {
+			deletes[headStore(r.head)] = true
+		}
+		if r.inventive {
+			fp.Inventive = true
+		}
+	}
+	for _, r := range p.denials {
+		scanBody(r)
+	}
+
+	// Chaining closure over all rules (generated included): a rule whose
+	// body — predicate literals or function-application reads — touches
+	// a written predicate may derive from this evaluation's own writes,
+	// so its head is written too.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.rules {
+			h := headStore(r.head)
+			if writes[h] && (!r.head.negated || deletes[h]) {
+				continue
+			}
+			fires := false
+			for _, l := range r.body {
+				if (l.kind == pkClass || l.kind == pkAssoc) && writes[l.pred] {
+					fires = true
+					break
+				}
+			}
+			if !fires {
+				for _, fn := range ruleFuncReadsAll(r) {
+					if writes[functionStore(fn)] {
+						fires = true
+						break
+					}
+				}
+			}
+			if fires {
+				if !writes[h] {
+					writes[h] = true
+					changed = true
+				}
+				if r.head.negated && !deletes[h] {
+					deletes[h] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	fp.Reads = sortedKeys(reads)
+	fp.Writes = sortedKeys(writes)
+	fp.Deletes = sortedKeys(deletes)
+	return fp
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FunctionStore exposes the hidden store name backing a data function
+// ("$fn$" + name) so the module layer can name function extensions in
+// footprints and deltas.
+func FunctionStore(fn string) string { return functionStore(fn) }

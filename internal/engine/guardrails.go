@@ -26,6 +26,14 @@ type CanceledError = guard.CanceledError
 // evaluation boundary.
 type PanicError = guard.PanicError
 
+// ConflictError reports that an optimistic concurrent module application
+// exhausted its retries, naming both colliding footprints.
+type ConflictError = guard.ConflictError
+
+// Footprint is the predicate-level access set concurrent commits
+// validate against each other.
+type Footprint = guard.Footprint
+
 // Axis names one budget dimension in a *BudgetError.
 type Axis = guard.Axis
 
@@ -35,6 +43,7 @@ const (
 	AxisFacts    = guard.AxisFacts
 	AxisOIDs     = guard.AxisOIDs
 	AxisDeadline = guard.AxisDeadline
+	AxisRetries  = guard.AxisRetries
 )
 
 // inactiveGuard backs evaluation paths that run outside Run (Query,

@@ -1,0 +1,113 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTightenAllZeroAxes(t *testing.T) {
+	// Zero ∘ zero stays zero (unbounded): no axis invents a bound.
+	z := Budget{}.Tighten(Budget{})
+	if z != (Budget{}) {
+		t.Fatalf("zero.Tighten(zero) = %+v, want zero", z)
+	}
+	// Zero base adopts every armed axis of the override.
+	armed := Budget{MaxRounds: 3, MaxFacts: 5, MaxOIDs: 7, Timeout: time.Second, MaxRetries: 2}
+	if got := (Budget{}).Tighten(armed); got != armed {
+		t.Fatalf("zero.Tighten(armed) = %+v, want %+v", got, armed)
+	}
+	// Armed base keeps its bounds against a zero override.
+	if got := armed.Tighten(Budget{}); got != armed {
+		t.Fatalf("armed.Tighten(zero) = %+v, want %+v", got, armed)
+	}
+}
+
+func TestTightenDeadlineMinOfNonzero(t *testing.T) {
+	a := Budget{Timeout: 3 * time.Second}
+	b := Budget{Timeout: time.Second}
+	if got := a.Tighten(b).Timeout; got != time.Second {
+		t.Fatalf("Tighten kept %v, want the stricter 1s", got)
+	}
+	if got := b.Tighten(a).Timeout; got != time.Second {
+		t.Fatalf("Tighten is not order-insensitive for min: %v", got)
+	}
+	// One-sided: the armed side wins regardless of position.
+	if got := (Budget{}).Tighten(b).Timeout; got != time.Second {
+		t.Fatalf("zero.Tighten(1s) = %v", got)
+	}
+	if got := b.Tighten(Budget{}).Timeout; got != time.Second {
+		t.Fatalf("1s.Tighten(zero) = %v", got)
+	}
+}
+
+func TestTightenPerAxisIndependence(t *testing.T) {
+	a := Budget{MaxRounds: 10, MaxFacts: 100, MaxRetries: 4}
+	b := Budget{MaxRounds: 20, MaxFacts: 50, MaxOIDs: 9, Timeout: time.Minute, MaxRetries: 6}
+	got := a.Tighten(b)
+	want := Budget{MaxRounds: 10, MaxFacts: 50, MaxOIDs: 9, Timeout: time.Minute, MaxRetries: 4}
+	if got != want {
+		t.Fatalf("Tighten = %+v, want %+v", got, want)
+	}
+}
+
+func TestFootprintNormalizeAndOverlaps(t *testing.T) {
+	f := Footprint{Reads: []string{"b", "a", "b"}, Writes: []string{"c", "c"}}
+	f.Normalize()
+	if strings.Join(f.Reads, ",") != "a,b" || strings.Join(f.Writes, ",") != "c" {
+		t.Fatalf("Normalize = %+v", f)
+	}
+
+	cases := []struct {
+		name       string
+		mine, them Footprint
+		pred       string
+		hit        bool
+	}{
+		{"disjoint", Footprint{Reads: []string{"a"}, Writes: []string{"b"}},
+			Footprint{Writes: []string{"c"}}, "", false},
+		{"read-write", Footprint{Reads: []string{"a"}},
+			Footprint{Writes: []string{"a"}}, "a", true},
+		{"write-write", Footprint{Writes: []string{"b"}},
+			Footprint{Writes: []string{"b"}}, "b", true},
+		{"their reads ignored", Footprint{Writes: []string{"a"}},
+			Footprint{Reads: []string{"a"}}, "", false},
+		{"universal theirs", Footprint{Reads: []string{"a"}},
+			Footprint{Universal: true}, "*", true},
+		{"universal mine", Footprint{Universal: true},
+			Footprint{Writes: []string{"z"}}, "*", true},
+		{"universal vs empty", Footprint{Universal: true},
+			Footprint{}, "", false},
+		{"empty vs universal", Footprint{},
+			Footprint{Universal: true}, "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pred, hit := tc.mine.Overlaps(tc.them)
+			if pred != tc.pred || hit != tc.hit {
+				t.Fatalf("Overlaps = (%q, %v), want (%q, %v)", pred, hit, tc.pred, tc.hit)
+			}
+		})
+	}
+}
+
+func TestConflictErrorNamesBothFootprints(t *testing.T) {
+	err := error(&ConflictError{
+		Pred:    "person",
+		Retries: 3,
+		Mine:    Footprint{Reads: []string{"person"}, Writes: []string{"emp"}},
+		Theirs:  Footprint{Writes: []string{"person"}},
+	})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatal("errors.As failed")
+	}
+	msg := err.Error()
+	for _, want := range []string{`conflict on "person"`, "after 3 retries",
+		"mine: reads=[person] writes=[emp]", "theirs: reads=[] writes=[person]"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q missing %q", msg, want)
+		}
+	}
+}

@@ -19,9 +19,10 @@ import (
 	"time"
 )
 
-// Budget bounds an evaluation along four independent axes. The zero
+// Budget bounds an evaluation along five independent axes. The zero
 // value of an axis leaves it unbounded (rounds fall back to the
-// evaluator's default step bound).
+// evaluator's default step bound, retries to the concurrent committer's
+// default).
 type Budget struct {
 	// MaxRounds bounds the number of one-step applications (or
 	// semi-naive rounds) per fixpoint.
@@ -33,6 +34,10 @@ type Budget struct {
 	// Timeout bounds the wall-clock time of one evaluation; the deadline
 	// is armed when the evaluation starts.
 	Timeout time.Duration
+	// MaxRetries bounds the commit retries of one optimistic concurrent
+	// module application; exhaustion surfaces as a *ConflictError rather
+	// than a *BudgetError (the conflict, not the budget, is the cause).
+	MaxRetries int
 }
 
 // Tighten combines two budgets into the stricter one per axis: a zero
@@ -54,6 +59,9 @@ func (b Budget) Tighten(o Budget) Budget {
 	if o.Timeout > 0 && (r.Timeout == 0 || o.Timeout < r.Timeout) {
 		r.Timeout = o.Timeout
 	}
+	if o.MaxRetries > 0 && (r.MaxRetries == 0 || o.MaxRetries < r.MaxRetries) {
+		r.MaxRetries = o.MaxRetries
+	}
 	return r
 }
 
@@ -65,6 +73,7 @@ const (
 	AxisFacts    Axis = "facts"
 	AxisOIDs     Axis = "oids"
 	AxisDeadline Axis = "deadline"
+	AxisRetries  Axis = "retries"
 )
 
 // BudgetError reports that an evaluation exhausted one budget axis. It

@@ -1,0 +1,200 @@
+package module
+
+import (
+	"logres/internal/ast"
+	"logres/internal/engine"
+	"logres/internal/guard"
+	"logres/internal/value"
+)
+
+// SnapshotResult is one optimistic application attempt, evaluated
+// against a frozen snapshot outside the database lock. It carries
+// everything the commit critical section needs: the effective footprint
+// to validate, and either a fact-level delta to merge onto the current
+// committed state (the concurrent fast path) or a whole-state
+// replacement (rule/schema-changing modes, which conflict with every
+// concurrent commit anyway).
+type SnapshotResult struct {
+	// Res is the ordinary Apply result against the snapshot.
+	Res *Result
+	// Footprint is the effective access set: the static analysis widened
+	// by what the run actually touched ($oid$ when identity moved).
+	Footprint guard.Footprint
+	// Adds and Removes are the extensional delta E1 − E0 and E0 − E1,
+	// valid when neither ReadOnly nor Replace is set. Commit order is
+	// removes first, then adds.
+	Adds, Removes []engine.Fact
+	// CounterDelta is the oid-counter advance of the run.
+	CounterDelta int64
+	// ReadOnly marks an application with no state change (RIDI): commit
+	// validates reads but installs nothing.
+	ReadOnly bool
+	// Replace marks an application whose commit must replace the whole
+	// state (rule/schema changes): valid only when nothing committed
+	// since the snapshot.
+	Replace bool
+}
+
+// ApplySnapshot applies m to the snapshot state st and packages the
+// outcome for optimistic commit. st must be a published snapshot: its
+// fact set frozen, never mutated (Apply's clone discipline guarantees
+// the application itself cannot touch it).
+func ApplySnapshot(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (*SnapshotResult, error) {
+	fp, err := StaticFootprint(st, m, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Apply(st, m, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	sr := &SnapshotResult{Res: res, Footprint: *fp}
+	switch mode {
+	case ast.RIDI:
+		sr.ReadOnly = true
+		return sr, nil
+	case ast.RADI, ast.RDDI:
+		sr.Replace = true
+		return sr, nil
+	}
+	schemaChanged := m.Schema != nil && (len(m.Schema.Names()) > 0 || len(m.Schema.IsaEdges()) > 0)
+	rulesChanged := false
+	switch mode {
+	case ast.RADV:
+		rulesChanged = len(m.Rules) > 0
+	case ast.RDDV:
+		// RDDV subtracts R_M from R; when none of the module's rules are
+		// in the persistent store only E shrinks, and the fact delta
+		// commits like any other data change.
+		rulesChanged = subtractionChangesRules(st.R, m.Rules)
+	}
+	if schemaChanged || rulesChanged {
+		sr.Replace = true
+		return sr, nil
+	}
+
+	sr.CounterDelta = res.State.Counter - st.Counter
+	sr.Adds, sr.Removes = diffFacts(st.E, res.State.E, &sr.Footprint)
+
+	touchedOID := sr.CounterDelta != 0
+	if !touchedOID {
+		// Class facts re-binding pre-existing oids (oid unification from
+		// non-invented sources) touch object identity without advancing
+		// the counter; serialize them through $oid$ so two such writers
+		// cannot place one oid in disjoint hierarchies unseen.
+		for _, f := range sr.Adds {
+			if f.IsClass && f.OID <= value.OID(st.Counter) {
+				touchedOID = true
+				break
+			}
+		}
+	}
+	if touchedOID {
+		sr.Footprint.Reads = append(sr.Footprint.Reads, PredOID)
+		sr.Footprint.Writes = append(sr.Footprint.Writes, PredOID)
+		sr.Footprint.Normalize()
+	}
+	return sr, nil
+}
+
+// diffFacts computes the delta between the snapshot extension e0 and the
+// result extension e1. The candidate predicates come from the static
+// write analysis; a per-predicate size audit over the full predicate
+// union catches any analysis miss (inflationary runs only grow and RDDV
+// only shrinks, so a missed write always shows as a size change) and
+// falls back to a full diff, widening the footprint with the missed
+// predicates.
+func diffFacts(e0, e1 *engine.FactSet, fp *guard.Footprint) (adds, removes []engine.Fact) {
+	candidates := map[string]bool{}
+	if !fp.Universal {
+		for _, p := range fp.Writes {
+			if !IsPseudoPred(p) {
+				candidates[p] = true
+			}
+		}
+		audit := map[string]bool{}
+		for _, p := range e0.Preds() {
+			audit[p] = true
+		}
+		for _, p := range e1.Preds() {
+			audit[p] = true
+		}
+		for p := range audit {
+			if !candidates[p] && e0.Size(p) != e1.Size(p) {
+				// Static analysis missed a write: be conservative.
+				fp.Universal = true
+				break
+			}
+		}
+	}
+	if fp.Universal {
+		candidates = map[string]bool{}
+		for _, p := range e0.Preds() {
+			candidates[p] = true
+		}
+		for _, p := range e1.Preds() {
+			candidates[p] = true
+		}
+	}
+	widened := false
+	for p := range candidates {
+		touched := false
+		for _, f := range e1.Facts(p) {
+			if !e0.Has(f) {
+				adds = append(adds, f)
+				touched = true
+			}
+		}
+		for _, f := range e0.Facts(p) {
+			if !e1.Has(f) {
+				removes = append(removes, f)
+				touched = true
+			}
+		}
+		if touched && !containsStr(fp.Writes, p) {
+			fp.Writes = append(fp.Writes, p)
+			widened = true
+		}
+	}
+	if widened {
+		fp.Normalize()
+	}
+	return adds, removes
+}
+
+func containsStr(s []string, p string) bool {
+	for _, x := range s {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// CommitDelta merges a validated snapshot delta onto the current
+// committed state: clone the committed extension, apply removes then
+// adds, advance the counter by the attempt's consumption, and keep the
+// committed R/S/Lib (a delta commit never changes them). The returned
+// state is freshly built and safe to publish.
+func CommitDelta(committed *State, sr *SnapshotResult) *State {
+	next := &State{
+		E:       committed.E.Clone(),
+		R:       committed.R,
+		S:       committed.S,
+		Counter: committed.Counter + sr.CounterDelta,
+		Lib:     committed.Lib,
+	}
+	for _, f := range sr.Removes {
+		next.E.Remove(f)
+	}
+	for _, f := range sr.Adds {
+		next.E.Add(f)
+	}
+	return next
+}
+
+// subtractionChangesRules reports whether removing sub from rules would
+// actually shrink the persistent rule store.
+func subtractionChangesRules(rules, sub []*ast.Rule) bool {
+	return len(subtractRules(rules, sub)) != len(rules)
+}

@@ -294,6 +294,12 @@ func (t metricsTracer) Event(ev Event) {
 	case KindModuleEnd:
 		m.Counter("logres_modules_applied_total").Add(1)
 		m.Histogram("logres_module_duration_ns").Observe(int64(ev.Duration))
+	case KindModuleCommit:
+		m.Counter("logres_module_commits_total").Add(1)
+	case KindModuleConflict:
+		m.Counter("logres_module_conflicts_total").Add(1)
+	case KindModuleRetry:
+		m.Counter("logres_module_retries_total").Add(1)
 	case KindClosureRound:
 		m.Counter("logres_closure_rounds_total").Add(1)
 	}

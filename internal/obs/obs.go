@@ -74,6 +74,20 @@ const (
 	// Detail = the application mode.
 	KindModuleBegin Kind = "module.begin"
 	KindModuleEnd   Kind = "module.end"
+	// KindModuleCommit reports one successful optimistic concurrent
+	// commit: Pred = module name, Count = delta facts installed,
+	// Round = the retry attempt that committed (0 = first try),
+	// Detail = commit path ("fast", "merge", "replace", "read-only").
+	// Nondeterministic: depends on commit interleaving.
+	KindModuleCommit Kind = "module.commit"
+	// KindModuleConflict reports one failed commit validation: Pred =
+	// the conflicting predicate, Round = the attempt, Detail = both
+	// footprints. Nondeterministic.
+	KindModuleConflict Kind = "module.conflict"
+	// KindModuleRetry reports the backoff before a re-application:
+	// Round = the upcoming attempt number, Duration = the backoff
+	// slept. Nondeterministic.
+	KindModuleRetry Kind = "module.retry"
 	// KindClosureRound reports one algres closure round: Round,
 	// Count = tuples inserted this round, Total = cumulative insertions.
 	KindClosureRound Kind = "closure.round"
@@ -84,7 +98,7 @@ const (
 // workers × shards configuration (wall-clock fields excluded).
 func (k Kind) Deterministic() bool {
 	switch k {
-	case KindMerge, KindGuardCheck:
+	case KindMerge, KindGuardCheck, KindModuleCommit, KindModuleConflict, KindModuleRetry:
 		return false
 	}
 	return true

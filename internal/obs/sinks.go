@@ -153,6 +153,12 @@ func FormatEvent(ev Event) string {
 		return fmt.Sprintf("module: begin mode=%s", ev.Detail)
 	case KindModuleEnd:
 		return fmt.Sprintf("module: end mode=%s (%s)", ev.Detail, ev.Duration)
+	case KindModuleCommit:
+		return fmt.Sprintf("module %s: committed attempt %d delta=%d (%s)", ev.Pred, ev.Round, ev.Count, ev.Detail)
+	case KindModuleConflict:
+		return fmt.Sprintf("module %s: conflict attempt %d: %s", ev.Pred, ev.Round, ev.Detail)
+	case KindModuleRetry:
+		return fmt.Sprintf("module %s: retry attempt %d after %s", ev.Pred, ev.Round, ev.Duration)
 	case KindClosureRound:
 		return fmt.Sprintf("closure round %d: inserted=%d total=%d", ev.Round, ev.Count, ev.Total)
 	}

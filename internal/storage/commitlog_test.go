@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"testing"
+
+	"logres/internal/guard"
+)
+
+func TestCommitLogDisjointValidates(t *testing.T) {
+	l := NewCommitLog(0)
+	e0 := l.Epoch()
+	l.Record(guard.Footprint{Writes: []string{"a"}})
+	l.Record(guard.Footprint{Writes: []string{"b"}})
+	if _, _, ok := l.Validate(e0, guard.Footprint{Reads: []string{"c"}, Writes: []string{"d"}}); !ok {
+		t.Fatal("disjoint footprint rejected")
+	}
+	if _, _, ok := l.Validate(l.Epoch(), guard.Footprint{Writes: []string{"a"}}); !ok {
+		t.Fatal("up-to-date snapshot rejected")
+	}
+}
+
+func TestCommitLogConflictNamesPredicate(t *testing.T) {
+	l := NewCommitLog(0)
+	e0 := l.Epoch()
+	l.Record(guard.Footprint{Writes: []string{"x"}})
+	pred, theirs, ok := l.Validate(e0, guard.Footprint{Reads: []string{"x"}})
+	if ok || pred != "x" {
+		t.Fatalf("Validate = (%q, ok=%v), want conflict on x", pred, ok)
+	}
+	if len(theirs.Writes) != 1 || theirs.Writes[0] != "x" {
+		t.Fatalf("theirs = %v", theirs)
+	}
+}
+
+func TestCommitLogSkipsEntriesBeforeSnapshot(t *testing.T) {
+	l := NewCommitLog(0)
+	l.Record(guard.Footprint{Writes: []string{"x"}})
+	mid := l.Epoch()
+	l.Record(guard.Footprint{Writes: []string{"y"}})
+	// Snapshot taken after x's commit: only y is validated against.
+	if pred, _, ok := l.Validate(mid, guard.Footprint{Reads: []string{"x"}}); !ok {
+		t.Fatalf("conflict on pre-snapshot write %q", pred)
+	}
+	if _, _, ok := l.Validate(mid, guard.Footprint{Reads: []string{"y"}}); ok {
+		t.Fatal("missed conflict on post-snapshot write")
+	}
+}
+
+func TestCommitLogPrunedHistoryConflicts(t *testing.T) {
+	l := NewCommitLog(4)
+	e0 := l.Epoch()
+	for i := 0; i < 10; i++ {
+		l.Record(guard.Footprint{Writes: []string{"p"}})
+	}
+	pred, theirs, ok := l.Validate(e0, guard.Footprint{Reads: []string{"unrelated"}})
+	if ok {
+		t.Fatal("stale snapshot validated against pruned history")
+	}
+	if pred != "$pruned$" || !theirs.Universal {
+		t.Fatalf("pruned conflict = (%q, %+v)", pred, theirs)
+	}
+	// A snapshot inside the retained window still validates precisely.
+	recent := l.Epoch() - 2
+	if _, _, ok := l.Validate(recent, guard.Footprint{Reads: []string{"unrelated"}}); !ok {
+		t.Fatal("recent snapshot hit the pruned path")
+	}
+}
+
+func TestCommitLogUniversalCommitConflictsWithEverything(t *testing.T) {
+	l := NewCommitLog(0)
+	e0 := l.Epoch()
+	l.Record(guard.Footprint{Universal: true})
+	if _, _, ok := l.Validate(e0, guard.Footprint{Reads: []string{"$schema$"}}); ok {
+		t.Fatal("universal committed write did not conflict")
+	}
+	// An empty footprint (epoch bump only, e.g. module registration)
+	// conflicts with nothing.
+	e1 := l.Epoch()
+	l.Record(guard.Footprint{})
+	if _, _, ok := l.Validate(e1, guard.Footprint{Universal: true, Reads: []string{"a"}}); !ok {
+		t.Fatal("empty footprint caused a conflict")
+	}
+}

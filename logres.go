@@ -79,15 +79,28 @@ type CanceledError = engine.CanceledError
 // as; the database state is unchanged.
 type PanicError = engine.PanicError
 
+// ConflictError is the typed error an optimistic concurrent module
+// application (ApplyConcurrent / ExecConcurrent) surfaces when every
+// retry's commit validation failed; it names the conflicting predicate
+// and carries both footprints. Retrieve it with errors.As.
+type ConflictError = engine.ConflictError
+
+// Footprint is the predicate-level read/write access set concurrent
+// module applications validate against each other.
+type Footprint = engine.Footprint
+
 // Axis names one budget dimension in a BudgetError.
 type Axis = engine.Axis
 
-// The budget axes a BudgetError can name.
+// The budget axes a BudgetError can name (AxisRetries appears only in
+// the abort trace event of an exhausted concurrent application — the
+// error itself is a *ConflictError).
 const (
 	AxisRounds   = engine.AxisRounds
 	AxisFacts    = engine.AxisFacts
 	AxisOIDs     = engine.AxisOIDs
 	AxisDeadline = engine.AxisDeadline
+	AxisRetries  = engine.AxisRetries
 )
 
 // Option configures a Database.
@@ -170,6 +183,11 @@ type Database struct {
 	// sees their fan-out through opts.Tracer (see rewireTracer).
 	tracer  Tracer
 	metrics *Metrics
+	// log is the committed-write log backing optimistic concurrent
+	// application: every state-changing commit records its write
+	// footprint at a fresh epoch; ApplyConcurrent validates against the
+	// entries committed since its snapshot.
+	log *storage.CommitLog
 }
 
 // publish freezes the state's extensional facts and installs it as the
@@ -194,7 +212,7 @@ func Open(src string, options ...Option) (*Database, error) {
 	if err := m.Schema.Validate(); err != nil {
 		return nil, err
 	}
-	db := &Database{opts: engine.DefaultOptions()}
+	db := &Database{opts: engine.DefaultOptions(), log: storage.NewCommitLog(0)}
 	for _, o := range options {
 		o(db)
 	}
@@ -256,8 +274,22 @@ func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode, opti
 	if err != nil {
 		return nil, err
 	}
-	db.publish(res.State)
+	db.commitSerial(res.State)
 	return &Result{Answer: res.Answer, Mode: mode}, nil
+}
+
+// commitSerial publishes a state produced under the write lock by a
+// serial application and records the commit. Serial paths carry no
+// footprint analysis, so the recorded write set is universal — any
+// optimistic application in flight across this commit conservatively
+// conflicts and retries. Read-only applications (RIDI returns the input
+// state unchanged) record nothing. Callers hold the write lock.
+func (db *Database) commitSerial(next *module.State) {
+	if next == db.st {
+		return
+	}
+	db.publish(next)
+	db.log.Record(engine.Footprint{Universal: true})
 }
 
 // Query evaluates a goal (`?- lit, … .`) against the current instance —
@@ -350,7 +382,7 @@ func (db *Database) Materialize() error {
 	if err != nil {
 		return err
 	}
-	db.publish(st)
+	db.commitSerial(st)
 	return nil
 }
 
@@ -376,7 +408,7 @@ func Load(r io.Reader, options ...Option) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{opts: engine.DefaultOptions()}
+	db := &Database{opts: engine.DefaultOptions(), log: storage.NewCommitLog(0)}
 	for _, o := range options {
 		o(db)
 	}
@@ -402,10 +434,26 @@ func (db *Database) Register(src string) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.st.Lib == nil {
-		db.st.Lib = module.NewLibrary()
+	// Copy-on-write: concurrent applications hold snapshots of db.st and
+	// may clone its library outside the lock, so the published state is
+	// never mutated in place — a fresh state with a cloned library is
+	// built and swapped in. The empty-footprint record bumps the commit
+	// epoch so an in-flight whole-state replacement (rule/schema-changing
+	// commit) cannot silently drop the registration.
+	lib := db.st.Lib
+	if lib == nil {
+		lib = module.NewLibrary()
+	} else {
+		lib = lib.Clone()
 	}
-	return db.st.Lib.Register(m)
+	if err := lib.Register(m); err != nil {
+		return err
+	}
+	next := *db.st
+	next.Lib = lib
+	db.st = &next
+	db.log.Record(engine.Footprint{})
+	return nil
 }
 
 // Call applies a registered module by name with its declared mode.
@@ -418,7 +466,9 @@ func (db *Database) CallContext(ctx context.Context, name string, options ...Cal
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.st.Lib == nil {
-		db.st.Lib = module.NewLibrary()
+		// Never mutate the published state in place — concurrent
+		// snapshot holders may be cloning it outside the lock.
+		return nil, fmt.Errorf("module: no module named %q; registered: none", name)
 	}
 	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
@@ -427,7 +477,7 @@ func (db *Database) CallContext(ctx context.Context, name string, options ...Cal
 		return nil, err
 	}
 	m, _ := db.st.Lib.Get(name)
-	db.publish(res.State)
+	db.commitSerial(res.State)
 	return &Result{Answer: res.Answer, Mode: m.Mode}, nil
 }
 
