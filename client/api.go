@@ -1,0 +1,193 @@
+// Package client is the Go client of the logres-server HTTP/JSON data
+// plane, plus the wire types the server and client share. The API is
+// versioned under /v1:
+//
+//	GET    /v1/db                 list databases
+//	PUT    /v1/db/{name}          create a database (CreateRequest)
+//	GET    /v1/db/{name}          database info (DBInfo)
+//	DELETE /v1/db/{name}          drop a database
+//	POST   /v1/db/{name}/exec     apply a module (ExecRequest → ExecResponse)
+//	POST   /v1/db/{name}/query    evaluate a goal (QueryRequest → NDJSON stream)
+//	GET    /v1/db/{name}/instance stream the derived instance (NDJSON)
+//	POST   /v1/db/{name}/register store a named module (RegisterRequest)
+//
+// Errors carry a JSON ErrorResponse body whose Kind mirrors the
+// engine's typed errors: optimistic commit conflicts map to 409 with
+// both footprints, budget exhaustion to 422, client cancellation to
+// 499, evaluation deadlines to 504 (see internal/server for the full
+// table). Streaming responses are NDJSON: a QueryHeader line, then
+// QueryChunk lines, then a QueryTrailer — an error mid-stream replaces
+// the trailer with an {"error": …} line.
+package client
+
+import "time"
+
+// CreateRequest creates a database under PUT /v1/db/{name}.
+type CreateRequest struct {
+	// Schema is the LOGRES schema source (domains / classes /
+	// associations / functions sections).
+	Schema string `json:"schema"`
+	// Options configures the database; nil takes every default.
+	Options *DBOptions `json:"options,omitempty"`
+}
+
+// DBOptions is the per-database configuration subset exposed on the
+// wire; zero fields keep the engine defaults.
+type DBOptions struct {
+	// Workers and Shards configure parallel evaluation
+	// (logres.WithWorkers / WithShards).
+	Workers int `json:"workers,omitempty"`
+	Shards  int `json:"shards,omitempty"`
+	// MaxRetries bounds optimistic commit retries
+	// (logres.WithMaxRetries): 0 = default, negative = fail on the
+	// first conflict.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Budget bounds every evaluation (logres.WithBudget).
+	Budget *BudgetSpec `json:"budget,omitempty"`
+}
+
+// BudgetSpec is the wire form of logres.Budget.
+type BudgetSpec struct {
+	MaxRounds int `json:"max_rounds,omitempty"`
+	MaxFacts  int `json:"max_facts,omitempty"`
+	MaxOIDs   int `json:"max_oids,omitempty"`
+	// TimeoutMS is the wall-clock bound per evaluation in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Timeout converts the wire form back to a duration.
+func (b *BudgetSpec) Timeout() time.Duration { return time.Duration(b.TimeoutMS) * time.Millisecond }
+
+// DBInfo describes one registered database (GET /v1/db/{name}).
+type DBInfo struct {
+	Name string `json:"name"`
+	// Epoch is the commit epoch: the number of state-changing commits.
+	Epoch uint64 `json:"epoch"`
+	// Rules is the persistent rule count, Modules the stored module
+	// library names.
+	Rules   int      `json:"rules"`
+	Modules []string `json:"modules,omitempty"`
+	// Schema renders the current schema in LOGRES syntax.
+	Schema string `json:"schema,omitempty"`
+}
+
+// ListResponse is the body of GET /v1/db.
+type ListResponse struct {
+	Databases []string `json:"databases"`
+}
+
+// ExecRequest applies a module under POST /v1/db/{name}/exec. The
+// default path is the optimistic concurrent one
+// (ExecConcurrentContext): evaluation runs against a snapshot outside
+// the write lock and commits via footprint validation, so requests
+// touching disjoint predicates proceed in parallel.
+type ExecRequest struct {
+	// Module is the LOGRES module source.
+	Module string `json:"module"`
+	// Mode overrides the module's declared application mode
+	// ("RIDI" … "RDDV", case-insensitive); empty honours the
+	// declaration.
+	Mode string `json:"mode,omitempty"`
+	// Serial selects the write-locked serial path instead of the
+	// optimistic one: no 409s, but applications serialize for their
+	// whole evaluation and the commit records a universal footprint.
+	Serial bool `json:"serial,omitempty"`
+	// MaxRetries overrides the database's conflict retry bound for this
+	// request only: 0 = inherit, negative = fail on the first conflict.
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// ExecResponse is a successful module application.
+type ExecResponse struct {
+	// Mode is the mode the module was applied with.
+	Mode string `json:"mode"`
+	// Answer holds goal bindings for data-invariant modes with a goal.
+	Answer *Answer `json:"answer,omitempty"`
+	// Epoch is the commit epoch after the application — unchanged for
+	// read-only applications.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Answer is a goal's result: variable names and deduplicated rows of
+// their bindings rendered in LOGRES value syntax, in deterministic
+// order.
+type Answer struct {
+	Vars []string   `json:"vars"`
+	Rows [][]string `json:"rows"`
+}
+
+// QueryRequest evaluates a goal under POST /v1/db/{name}/query.
+type QueryRequest struct {
+	// Goal is the LOGRES goal source (`?- lit, … .`).
+	Goal string `json:"goal"`
+	// ChunkSize bounds the rows per streamed QueryChunk (<= 0 selects
+	// the server default).
+	ChunkSize int `json:"chunk_size,omitempty"`
+}
+
+// QueryHeader is the first NDJSON line of a query response.
+type QueryHeader struct {
+	Vars []string `json:"vars"`
+}
+
+// QueryChunk is one NDJSON line of rows; a response carries zero or
+// more chunks between header and trailer.
+type QueryChunk struct {
+	Rows [][]string `json:"rows"`
+}
+
+// QueryTrailer is the final NDJSON line of a complete query response.
+type QueryTrailer struct {
+	Done  bool `json:"done"`
+	Total int  `json:"total"`
+}
+
+// InstanceFact is one NDJSON line of GET /v1/db/{name}/instance: a
+// fact of the derived instance rendered in LOGRES syntax.
+type InstanceFact struct {
+	Pred string `json:"pred"`
+	Fact string `json:"fact"`
+}
+
+// RegisterRequest stores a named module in the database's library
+// under POST /v1/db/{name}/register.
+type RegisterRequest struct {
+	Module string `json:"module"`
+}
+
+// FootprintJSON is the wire form of a predicate-level access set
+// (conflict error bodies carry both sides' footprints).
+type FootprintJSON struct {
+	Reads     []string `json:"reads,omitempty"`
+	Writes    []string `json:"writes,omitempty"`
+	Universal bool     `json:"universal,omitempty"`
+}
+
+// Error kinds of ErrorResponse.Kind, mirroring the engine's typed
+// errors.
+const (
+	KindInvalid   = "invalid"   // 400: parse/validation/rejection
+	KindNotFound  = "not_found" // 404: unknown database
+	KindExists    = "exists"    // 409: database already exists
+	KindConflict  = "conflict"  // 409: optimistic commit conflict (footprints attached)
+	KindBudget    = "budget"    // 422: budget axis exhausted
+	KindCanceled  = "canceled"  // 499: request canceled by the client
+	KindDeadline  = "deadline"  // 504: evaluation deadline exceeded
+	KindPanic     = "panic"     // 500: evaluation panic (state untouched)
+	KindDraining  = "draining"  // 503: server is shutting down
+	KindTransport = "transport" // client-side: malformed response
+)
+
+// ErrorResponse is the JSON body of every non-2xx data-plane response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+	// Conflict payload (Kind == KindConflict): the first conflicting
+	// predicate, the retry count, and both footprints.
+	Pred    string         `json:"pred,omitempty"`
+	Retries int            `json:"retries,omitempty"`
+	Mine    *FootprintJSON `json:"mine,omitempty"`
+	Theirs  *FootprintJSON `json:"theirs,omitempty"`
+	// Budget payload (Kind == KindBudget): the exhausted axis.
+	Axis string `json:"axis,omitempty"`
+}

@@ -1,0 +1,339 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to one logres-server. The zero retry configuration
+// surfaces the first 409 as an *APIError; WithConflictRetries makes the
+// client re-submit conflicted applications with capped exponential
+// backoff, mirroring the server-side retry loop for callers that would
+// rather wait than handle conflicts themselves.
+type Client struct {
+	base            string
+	hc              *http.Client
+	conflictRetries int
+	retryBase       time.Duration
+	retryMax        time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithConflictRetries makes Exec re-submit a module whose application
+// failed with 409 (optimistic commit conflict) up to n more times,
+// sleeping a capped exponential backoff between submissions. The
+// server already retries internally up to its own budget; this knob is
+// the second line for workloads that prefer eventual success over a
+// surfaced conflict. n <= 0 disables client-side retries (the
+// default).
+func WithConflictRetries(n int) Option {
+	return func(c *Client) { c.conflictRetries = n }
+}
+
+// WithRetryBackoff overrides the client retry backoff schedule (base
+// doubling up to max). Zero values keep the defaults (5ms … 250ms).
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.retryBase = base
+		}
+		if max > 0 {
+			c.retryMax = max
+		}
+	}
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8440").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		hc:        http.DefaultClient,
+		retryBase: 5 * time.Millisecond,
+		retryMax:  250 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx data-plane response: the HTTP status plus the
+// decoded ErrorResponse body.
+type APIError struct {
+	Status int
+	Resp   ErrorResponse
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("logres-server: %d %s: %s", e.Status, e.Resp.Kind, e.Resp.Error)
+}
+
+// IsConflict reports whether the error is an optimistic commit
+// conflict (409 with kind "conflict").
+func (e *APIError) IsConflict() bool {
+	return e.Status == http.StatusConflict && e.Resp.Kind == KindConflict
+}
+
+// Create creates a database named name over schema; opts may be nil.
+func (c *Client) Create(ctx context.Context, name, schema string, opts *DBOptions) error {
+	var info DBInfo
+	return c.doJSON(ctx, http.MethodPut, c.dbURL(name), CreateRequest{Schema: schema, Options: opts}, &info)
+}
+
+// Drop removes a database.
+func (c *Client) Drop(ctx context.Context, name string) error {
+	return c.doJSON(ctx, http.MethodDelete, c.dbURL(name), nil, nil)
+}
+
+// List names the registered databases.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	var resp ListResponse
+	if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/db", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Databases, nil
+}
+
+// Info describes one database.
+func (c *Client) Info(ctx context.Context, name string) (*DBInfo, error) {
+	var info DBInfo
+	if err := c.doJSON(ctx, http.MethodGet, c.dbURL(name), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Exec applies a module through the optimistic concurrent path with
+// the module's declared mode, honouring the client's conflict-retry
+// knob.
+func (c *Client) Exec(ctx context.Context, name, module string) (*ExecResponse, error) {
+	return c.ExecRequest(ctx, name, ExecRequest{Module: module})
+}
+
+// ExecRequest applies a module with full request control (mode
+// override, serial path, per-request retry bound). 409 responses are
+// re-submitted per WithConflictRetries unless req.Serial is set (the
+// serial path cannot conflict).
+func (c *Client) ExecRequest(ctx context.Context, name string, req ExecRequest) (*ExecResponse, error) {
+	url := c.dbURL(name) + "/exec"
+	for attempt := 0; ; attempt++ {
+		var resp ExecResponse
+		err := c.doJSON(ctx, http.MethodPost, url, req, &resp)
+		if err == nil {
+			return &resp, nil
+		}
+		apiErr, ok := err.(*APIError)
+		if !ok || !apiErr.IsConflict() || req.Serial || attempt >= c.conflictRetries {
+			return nil, err
+		}
+		timer := time.NewTimer(c.backoff(attempt))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// backoff returns the capped exponential client backoff for an
+// attempt; doubling stops at the cap so large retry budgets cannot
+// overflow the shift (the same clamp the server's commit loop uses).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.retryBase
+	for i := 0; i < attempt; i++ {
+		d <<= 1
+		if d >= c.retryMax {
+			return c.retryMax
+		}
+	}
+	return d
+}
+
+// Query evaluates a goal and collects the full streamed answer.
+func (c *Client) Query(ctx context.Context, name, goal string) (*Answer, error) {
+	ans := &Answer{}
+	vars, err := c.QueryStream(ctx, name, QueryRequest{Goal: goal}, func(rows [][]string) error {
+		ans.Rows = append(ans.Rows, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ans.Vars = vars
+	return ans, nil
+}
+
+// QueryStream evaluates a goal and hands each streamed chunk of rows
+// to fn as it arrives; it returns the goal's variable names. fn
+// returning an error stops the stream and surfaces that error.
+func (c *Client) QueryStream(ctx context.Context, name string, req QueryRequest, fn func(rows [][]string) error) ([]string, error) {
+	body, err := c.doStream(ctx, http.MethodPost, c.dbURL(name)+"/query", req)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("logres-server: empty query stream: %w", sc.Err())
+	}
+	var header QueryHeader
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		return nil, &APIError{Resp: ErrorResponse{Error: "malformed query header: " + err.Error(), Kind: KindTransport}}
+	}
+	done := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		var trailer QueryTrailer
+		if err := json.Unmarshal(line, &trailer); err == nil && trailer.Done {
+			done = true
+			break
+		}
+		var streamErr struct {
+			Error *ErrorResponse `json:"error"`
+		}
+		if err := json.Unmarshal(line, &streamErr); err == nil && streamErr.Error != nil {
+			return header.Vars, &APIError{Resp: *streamErr.Error}
+		}
+		var chunk QueryChunk
+		if err := json.Unmarshal(line, &chunk); err != nil {
+			return header.Vars, &APIError{Resp: ErrorResponse{Error: "malformed query chunk: " + err.Error(), Kind: KindTransport}}
+		}
+		if err := fn(chunk.Rows); err != nil {
+			return header.Vars, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return header.Vars, err
+	}
+	if !done {
+		return header.Vars, &APIError{Resp: ErrorResponse{Error: "query stream truncated before trailer", Kind: KindTransport}}
+	}
+	return header.Vars, nil
+}
+
+// Instance streams the derived instance and collects its facts.
+func (c *Client) Instance(ctx context.Context, name string) ([]InstanceFact, error) {
+	body, err := c.doStream(ctx, http.MethodGet, c.dbURL(name)+"/instance", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var facts []InstanceFact
+	for sc.Scan() {
+		var trailer QueryTrailer
+		if err := json.Unmarshal(sc.Bytes(), &trailer); err == nil && trailer.Done {
+			return facts, nil
+		}
+		var f InstanceFact
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return facts, &APIError{Resp: ErrorResponse{Error: "malformed instance line: " + err.Error(), Kind: KindTransport}}
+		}
+		facts = append(facts, f)
+	}
+	if err := sc.Err(); err != nil {
+		return facts, err
+	}
+	return facts, &APIError{Resp: ErrorResponse{Error: "instance stream truncated before trailer", Kind: KindTransport}}
+}
+
+// Register stores a named module in the database's library.
+func (c *Client) Register(ctx context.Context, name, module string) error {
+	return c.doJSON(ctx, http.MethodPost, c.dbURL(name)+"/register", RegisterRequest{Module: module}, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Transport.
+// ---------------------------------------------------------------------------
+
+func (c *Client) dbURL(name string) string {
+	return c.base + "/v1/db/" + url.PathEscape(name)
+}
+
+// doJSON performs one request with an optional JSON body and decodes a
+// JSON response into out (nil discards the body). Non-2xx responses
+// decode into an *APIError.
+func (c *Client) doJSON(ctx context.Context, method, url string, in, out any) error {
+	resp, err := c.do(ctx, method, url, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := responseError(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// doStream performs one request and returns the raw body for NDJSON
+// consumption; non-2xx responses are decoded and closed here.
+func (c *Client) doStream(ctx context.Context, method, url string, in any) (io.ReadCloser, error) {
+	resp, err := c.do(ctx, method, url, in)
+	if err != nil {
+		return nil, err
+	}
+	if err := responseError(resp); err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+func (c *Client) do(ctx context.Context, method, url string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.hc.Do(req)
+}
+
+func responseError(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(data, &apiErr.Resp); err != nil || apiErr.Resp.Error == "" {
+		apiErr.Resp = ErrorResponse{Error: strings.TrimSpace(string(data)), Kind: KindTransport}
+		if apiErr.Resp.Error == "" {
+			apiErr.Resp.Error = resp.Status
+		}
+	}
+	return apiErr
+}

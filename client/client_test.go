@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExecRetriesOn409 counts submissions against a fake server that
+// conflicts twice before accepting.
+func TestExecRetriesOn409(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "lost", Kind: KindConflict})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(ExecResponse{Mode: "RIDV", Epoch: 3})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithConflictRetries(2), WithRetryBackoff(time.Microsecond, time.Millisecond))
+	res, err := c.Exec(context.Background(), "db", "mode ridv.\nend.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 3 || calls.Load() != 3 {
+		t.Fatalf("res = %+v after %d calls", res, calls.Load())
+	}
+
+	// With retries exhausted the conflict surfaces.
+	calls.Store(0)
+	c = New(ts.URL, WithConflictRetries(1), WithRetryBackoff(time.Microsecond, time.Millisecond))
+	_, err = c.Exec(context.Background(), "db", "mode ridv.\nend.\n")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !apiErr.IsConflict() {
+		t.Fatalf("err = %v, want surfaced conflict", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+
+	// Serial requests never retry: the serial path cannot conflict, so
+	// a 409 would mean something else entirely.
+	calls.Store(0)
+	c = New(ts.URL, WithConflictRetries(5))
+	_, err = c.ExecRequest(context.Background(), "db", ExecRequest{Module: "mode ridv.\nend.\n", Serial: true})
+	if !errors.As(err, &apiErr) || calls.Load() != 1 {
+		t.Fatalf("serial retried: err = %v, calls = %d", err, calls.Load())
+	}
+}
+
+// TestClientBackoffClamped mirrors the server-side regression: huge
+// attempt counts must not overflow the shift.
+func TestClientBackoffClamped(t *testing.T) {
+	c := New("http://x", WithRetryBackoff(5*time.Millisecond, 250*time.Millisecond))
+	prev := time.Duration(0)
+	for attempt := 0; attempt <= 200; attempt++ {
+		d := c.backoff(attempt)
+		if d <= 0 || d > 250*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v out of range", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("backoff(%d) = %v < backoff(%d) = %v", attempt, d, attempt-1, prev)
+		}
+		prev = d
+	}
+	if c.backoff(100) != 250*time.Millisecond {
+		t.Fatalf("backoff(100) = %v, want cap", c.backoff(100))
+	}
+}
+
+func streamServer(body string) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = w.Write([]byte(body))
+	}))
+}
+
+// TestQueryStreamTruncated: a stream that dies before the trailer is a
+// transport error, not silent partial data.
+func TestQueryStreamTruncated(t *testing.T) {
+	ts := streamServer(`{"vars":["X"]}
+{"rows":[["1"]]}
+`)
+	defer ts.Close()
+	c := New(ts.URL)
+	var rows int
+	_, err := c.QueryStream(context.Background(), "db", QueryRequest{Goal: "?- p(x: X)."}, func(r [][]string) error {
+		rows += len(r)
+		return nil
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Resp.Kind != KindTransport {
+		t.Fatalf("err = %v, want transport error", err)
+	}
+	if rows != 1 {
+		t.Fatalf("rows before truncation = %d, want 1", rows)
+	}
+}
+
+// TestQueryStreamErrorLine: a mid-stream error object surfaces as the
+// typed APIError.
+func TestQueryStreamErrorLine(t *testing.T) {
+	ts := streamServer(`{"vars":["X"]}
+{"rows":[["1"]]}
+{"error":{"error":"budget: facts","kind":"budget","axis":"facts"}}
+`)
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.QueryStream(context.Background(), "db", QueryRequest{Goal: "?- p(x: X)."}, func([][]string) error {
+		return nil
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Resp.Kind != KindBudget || apiErr.Resp.Axis != "facts" {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+}
+
+// TestQueryStreamCallbackError: fn's error stops the stream and
+// surfaces unchanged.
+func TestQueryStreamCallbackError(t *testing.T) {
+	ts := streamServer(`{"vars":["X"]}
+{"rows":[["1"]]}
+{"done":true,"total":1}
+`)
+	defer ts.Close()
+	c := New(ts.URL)
+	sentinel := errors.New("stop")
+	_, err := c.QueryStream(context.Background(), "db", QueryRequest{Goal: "?- p(x: X)."}, func([][]string) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+// TestResponseErrorNonJSON: a non-JSON error body (a proxy, a panic
+// page) still yields a usable APIError.
+func TestResponseErrorNonJSON(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.List(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway || apiErr.Resp.Kind != KindTransport {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.Resp.Error != "bad gateway" {
+		t.Fatalf("message = %q", apiErr.Resp.Error)
+	}
+}

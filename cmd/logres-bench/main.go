@@ -57,7 +57,7 @@ func main() {
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
-		{"E15", runE15},
+		{"E15", runE15}, {"E16", runE16},
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -80,6 +80,11 @@ type smokeResult struct {
 	Shards  int    `json:"shards"`
 	Iters   int    `json:"iters"`
 	NsPerOp int64  `json:"ns_per_op"`
+	// HTTP rows (E16) also report route latencies from the server's
+	// duration histograms.
+	P50Ns int64 `json:"p50_ns,omitempty"`
+	P95Ns int64 `json:"p95_ns,omitempty"`
+	P99Ns int64 `json:"p99_ns,omitempty"`
 }
 
 // smokeCase is one workload × tracer configuration of the smoke suite.
@@ -153,6 +158,35 @@ func runSmoke(path string) error {
 		Name: "E15_disjoint_conc4", Tracer: "off", Workers: 4, Shards: 1,
 		Iters: e15Total, NsPerOp: dConc.Nanoseconds() / e15Total,
 	})
+
+	// E16 HTTP rows: one module application over the wire is one "op";
+	// latencies are the server's own exec-route histogram quantiles.
+	for _, cfg := range [][2]int{{1, 0}, {4, 4}} {
+		appliers, readers := cfg[0], cfg[1]
+		base, m, shutdown, err := e16Server()
+		if err != nil {
+			return err
+		}
+		res, err := e16Load(base, m, appliers, readers, 12)
+		if err != nil {
+			_ = shutdown()
+			return err
+		}
+		if err := shutdown(); err != nil {
+			return err
+		}
+		results = append(results, smokeResult{
+			Name:    fmt.Sprintf("E16_http_apply%d_read%d", appliers, readers),
+			Tracer:  "off",
+			Workers: appliers,
+			Shards:  1,
+			Iters:   res.applies,
+			NsPerOp: res.elapsed.Nanoseconds() / int64(res.applies),
+			P50Ns:   res.execP50.Nanoseconds(),
+			P95Ns:   res.execP95.Nanoseconds(),
+			P99Ns:   res.execP99.Nanoseconds(),
+		})
+	}
 
 	out, err := json.MarshalIndent(map[string]any{"suite": "tracer-overhead", "results": results}, "", "  ")
 	if err != nil {

@@ -1,0 +1,176 @@
+// Command logres-server serves LOGRES databases over HTTP/JSON.
+//
+// Usage:
+//
+//	logres-server -addr :8440 [flags]
+//
+// The data plane lives under /v1/db (create/drop/list databases, apply
+// modules through the optimistic concurrent path, stream query answers
+// as NDJSON); the observability plane (/metrics, /debug/vars,
+// /debug/pprof) is mounted on the same listener. Flags:
+//
+//	-addr a         listen address (default 127.0.0.1:8440)
+//	-db name        preload a database under this name (default "default"
+//	                when -schema or -load is given)
+//	-schema file    open the preloaded database over this schema file
+//	-load file      load the preloaded database from a snapshot instead
+//	-workers n      evaluation workers for the preloaded database
+//	-shards n       delta shards for the preloaded database
+//	-max-retries n  conflict retry bound for the preloaded database
+//	-grace d        shutdown grace period (default 30s): SIGINT/SIGTERM
+//	                stops accepting work and drains in-flight
+//	                applications; after d they are canceled through
+//	                their contexts (the engine aborts with state
+//	                untouched) and the server exits
+//	-chunk n        rows per streamed query chunk (default 256)
+//
+// Shutdown: on the first signal the server stops accepting data-plane
+// requests (503 kind=draining), waits up to -grace for in-flight
+// applications, then force-cancels the stragglers. A second signal
+// exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"logres"
+	"logres/internal/server"
+)
+
+type config struct {
+	addr       string
+	dbName     string
+	schemaPath string
+	loadPath   string
+	workers    int
+	shards     int
+	maxRetries int
+	grace      time.Duration
+	chunk      int
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("logres-server", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8440", "listen address")
+	fs.StringVar(&cfg.dbName, "db", "default", "name for the preloaded database")
+	fs.StringVar(&cfg.schemaPath, "schema", "", "schema file for the preloaded database")
+	fs.StringVar(&cfg.loadPath, "load", "", "snapshot file for the preloaded database")
+	fs.IntVar(&cfg.workers, "workers", 0, "evaluation workers for the preloaded database")
+	fs.IntVar(&cfg.shards, "shards", 0, "delta shards for the preloaded database")
+	fs.IntVar(&cfg.maxRetries, "max-retries", 0, "conflict retry bound for the preloaded database")
+	fs.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown grace period")
+	fs.IntVar(&cfg.chunk, "chunk", 0, "rows per streamed query chunk")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.schemaPath != "" && cfg.loadPath != "" {
+		return nil, errors.New("-schema and -load are mutually exclusive")
+	}
+	return cfg, nil
+}
+
+// preload opens the database named by -schema/-load, sharing the
+// server's metrics registry so its evaluation counters land on
+// /metrics beside the HTTP ones.
+func preload(cfg *config, srv *server.Server) error {
+	if cfg.schemaPath == "" && cfg.loadPath == "" {
+		return nil
+	}
+	opts := []logres.Option{logres.WithMetrics(srv.Metrics())}
+	if cfg.workers != 0 {
+		opts = append(opts, logres.WithWorkers(cfg.workers))
+	}
+	if cfg.shards != 0 {
+		opts = append(opts, logres.WithShards(cfg.shards))
+	}
+	if cfg.maxRetries != 0 {
+		opts = append(opts, logres.WithMaxRetries(cfg.maxRetries))
+	}
+	var (
+		db  *logres.Database
+		err error
+	)
+	if cfg.loadPath != "" {
+		var f *os.File
+		if f, err = os.Open(cfg.loadPath); err != nil {
+			return err
+		}
+		defer f.Close()
+		db, err = logres.Load(f, opts...)
+	} else {
+		var src []byte
+		if src, err = os.ReadFile(cfg.schemaPath); err != nil {
+			return err
+		}
+		db, err = logres.Open(string(src), opts...)
+	}
+	if err != nil {
+		return err
+	}
+	return srv.Add(cfg.dbName, db)
+}
+
+// run serves until ctx is canceled (the first signal), then drains:
+// Server.Shutdown bounds the in-flight applications by cfg.grace, and
+// the http.Server shutdown closes the listener and idle connections.
+func run(ctx context.Context, cfg *config, ln net.Listener, stderr *os.File) error {
+	srv := server.New(server.Options{QueryChunkSize: cfg.chunk})
+	if err := preload(cfg, srv); err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stderr, "logres-server: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stderr, "logres-server: draining (grace %s)\n", cfg.grace)
+	grace, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	drainErr := srv.Shutdown(grace)
+	if err := hs.Shutdown(grace); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		fmt.Fprintf(stderr, "logres-server: forced shutdown: %v\n", drainErr)
+		return drainErr
+	}
+	fmt.Fprintln(stderr, "logres-server: drained cleanly")
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logres-server:", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logres-server:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, ln, os.Stderr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "logres-server:", err)
+		os.Exit(1)
+	}
+}

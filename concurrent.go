@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"logres/internal/guard"
+	"logres/internal/hooks"
 	"logres/internal/module"
 	"logres/internal/obs"
 	"logres/internal/parser"
@@ -83,12 +84,6 @@ func (db *Database) ApplyConcurrent(m *Module, mode Mode, options ...CallOption)
 	return db.ApplyConcurrentContext(db.ctx(), m, mode, options...)
 }
 
-// testConcurrentPreCommit, when non-nil, runs after the snapshot
-// application and before the commit critical section of each attempt —
-// the injection point conflict tests use to commit a competing write in
-// the validation window.
-var testConcurrentPreCommit func(attempt int)
-
 // ApplyConcurrentContext is ApplyConcurrent under an explicit context;
 // cancellation aborts evaluation between rounds and backoff sleeps
 // immediately, surfacing a *CanceledError.
@@ -96,6 +91,24 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The call configuration cannot change between attempts (SetTracer's
+	// contract is that in-flight evaluations keep the tracer they started
+	// with), so options and the retry budget resolve once, outside the
+	// attempt loop. Only the state/epoch snapshot is re-read per attempt.
+	db.mu.RLock()
+	opts := applyCallOptions(db.opts, options)
+	db.mu.RUnlock()
+	opts.Ctx = ctx
+	tracer := opts.Tracer
+
+	maxRetries := opts.Budget.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = DefaultMaxRetries
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+
 	for attempt := 0; ; attempt++ {
 		// Snapshot: the published state is frozen and never mutated in
 		// place, so holding the pointer outside the lock is safe; the
@@ -104,24 +117,13 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 		db.mu.RLock()
 		st := db.st
 		epoch := db.log.Epoch()
-		opts := applyCallOptions(db.opts, options)
 		db.mu.RUnlock()
-		opts.Ctx = ctx
-		tracer := opts.Tracer
-
-		maxRetries := opts.Budget.MaxRetries
-		switch {
-		case maxRetries == 0:
-			maxRetries = DefaultMaxRetries
-		case maxRetries < 0:
-			maxRetries = 0
-		}
 
 		sr, err := module.ApplySnapshot(st, m, mode, opts)
 		if err != nil {
 			return nil, err
 		}
-		if hook := testConcurrentPreCommit; hook != nil {
+		if hook := hooks.ConcurrentPreCommit; hook != nil {
 			hook(attempt)
 		}
 
@@ -150,13 +152,13 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 			return nil, cerr
 		}
 
-		backoff := retryBaseBackoff << attempt
-		if backoff > retryMaxBackoff {
-			backoff = retryMaxBackoff
-		}
+		backoff := retryBackoff(attempt)
 		if tracer != nil {
+			// Round is the attempt whose conflict triggered this backoff —
+			// the same index the preceding KindModuleConflict carries, so a
+			// conflict/retry pair diffs as one attempt in a trace.
 			tracer.Event(obs.Event{Kind: obs.KindModuleRetry, Pred: m.Name,
-				Round: attempt + 1, Duration: backoff})
+				Round: attempt, Duration: backoff})
 		}
 		timer := time.NewTimer(backoff)
 		select {
@@ -166,6 +168,24 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 		case <-timer.C:
 		}
 	}
+}
+
+// retryBackoff returns the capped exponential backoff for a retry
+// attempt. Doubling stops as soon as the cap is reached, so a large
+// attempt count (reachable via WithMaxRetries / Budget.MaxRetries) can
+// never shift the duration into overflow — the naive
+// `retryBaseBackoff << attempt` wraps negative or zero once attempt
+// exceeds ~45, the `> retryMaxBackoff` clamp no longer applies, and the
+// timer fires immediately, turning conflict backoff into a hot spin.
+func retryBackoff(attempt int) time.Duration {
+	d := retryBaseBackoff
+	for i := 0; i < attempt; i++ {
+		d <<= 1
+		if d >= retryMaxBackoff {
+			return retryMaxBackoff
+		}
+	}
+	return d
 }
 
 // tryCommit is the commit critical section: validate the attempt's

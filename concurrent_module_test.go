@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"logres/internal/engine"
+	"logres/internal/hooks"
 )
 
 // ---------------------------------------------------------------------------
@@ -182,7 +183,7 @@ func TestConflictRetrySucceeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	testConcurrentPreCommit = func(attempt int) {
+	hooks.ConcurrentPreCommit = func(attempt int) {
 		if attempt == 0 {
 			if _, err := db.Exec(`
 mode ridv.
@@ -193,7 +194,7 @@ end.
 			}
 		}
 	}
-	defer func() { testConcurrentPreCommit = nil }()
+	defer func() { hooks.ConcurrentPreCommit = nil }()
 
 	if _, err := db.ExecConcurrent(`
 mode ridv.
@@ -226,7 +227,7 @@ func TestRetryExhaustionReturnsConflictError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	testConcurrentPreCommit = func(int) {
+	hooks.ConcurrentPreCommit = func(int) {
 		if _, err := db.Exec(`
 mode ridv.
 rules p0(x: 99).
@@ -235,7 +236,7 @@ end.
 			t.Error(err)
 		}
 	}
-	defer func() { testConcurrentPreCommit = nil }()
+	defer func() { hooks.ConcurrentPreCommit = nil }()
 
 	_, err = db.ExecConcurrent(`
 mode ridv.
@@ -275,7 +276,7 @@ func TestFlightRecorderDumpsOnRetryExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	testConcurrentPreCommit = func(int) {
+	hooks.ConcurrentPreCommit = func(int) {
 		if _, err := db.Exec(`
 mode ridv.
 rules p0(x: 99).
@@ -284,7 +285,7 @@ end.
 			t.Error(err)
 		}
 	}
-	defer func() { testConcurrentPreCommit = nil }()
+	defer func() { hooks.ConcurrentPreCommit = nil }()
 
 	_, err = db.ExecConcurrent(`
 mode ridv.
@@ -314,7 +315,7 @@ func TestCanceledBackoffReturnsCanceledError(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	testConcurrentPreCommit = func(int) {
+	hooks.ConcurrentPreCommit = func(int) {
 		// Force a conflict, then cancel: the retry backoff must notice.
 		if _, err := db.Exec(`
 mode ridv.
@@ -325,7 +326,7 @@ end.
 		}
 		cancel()
 	}
-	defer func() { testConcurrentPreCommit = nil }()
+	defer func() { hooks.ConcurrentPreCommit = nil }()
 
 	_, err = db.ExecConcurrentContext(ctx, `
 mode ridv.

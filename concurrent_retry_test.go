@@ -1,0 +1,162 @@
+package logres
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"logres/internal/hooks"
+	"logres/internal/obs"
+)
+
+// TestRetryBackoffNeverOverflows is the regression test for the shift
+// overflow in the conflict backoff: `retryBaseBackoff << attempt` wraps
+// negative/zero once attempt exceeds ~45 (reachable with a large
+// WithMaxRetries / Budget.MaxRetries), the max clamp no longer applies,
+// and the retry timer fires immediately — a hot spin. The clamped
+// schedule must be strictly positive, monotonically non-decreasing, and
+// capped for every attempt index.
+func TestRetryBackoffNeverOverflows(t *testing.T) {
+	prev := retryBackoff(0)
+	if prev != retryBaseBackoff {
+		t.Fatalf("retryBackoff(0) = %v, want %v", prev, retryBaseBackoff)
+	}
+	for attempt := 1; attempt <= 200; attempt++ {
+		d := retryBackoff(attempt)
+		if d <= 0 {
+			t.Fatalf("retryBackoff(%d) = %v, want > 0 (shift overflow)", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("retryBackoff(%d) = %v < retryBackoff(%d) = %v, want monotone non-decreasing",
+				attempt, d, attempt-1, prev)
+		}
+		if d > retryMaxBackoff {
+			t.Fatalf("retryBackoff(%d) = %v exceeds cap %v", attempt, d, retryMaxBackoff)
+		}
+		prev = d
+	}
+	// Deep into the formerly-overflowing range the schedule sits at the cap.
+	for _, attempt := range []int{46, 50, 63, 64, 100} {
+		if d := retryBackoff(attempt); d != retryMaxBackoff {
+			t.Fatalf("retryBackoff(%d) = %v, want cap %v", attempt, d, retryMaxBackoff)
+		}
+	}
+	// The old expression really did overflow — document why the clamp
+	// exists. (The shift count is a variable so the compiler cannot
+	// reject the constant overflow this test is about.)
+	shift := 50
+	if bad := retryBaseBackoff << shift; bad > 0 && bad <= retryMaxBackoff {
+		t.Fatalf("shift expression no longer overflows (%v); reconsider this regression test", bad)
+	}
+}
+
+// eventRecorder captures trace events for assertions.
+type eventRecorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *eventRecorder) Event(ev obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+func (r *eventRecorder) byKind(k obs.Kind) []obs.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []obs.Event
+	for _, ev := range r.events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestConflictRetryRoundNumbersAgree: the conflict event of attempt N
+// and the retry event that follows it must both carry Round N (the
+// commit that finally lands carries its own attempt index). Before the
+// fix the retry reported attempt+1, so a canonical trace diff showed a
+// conflict at round N paired with a retry at round N+1 for the same
+// attempt.
+func TestConflictRetryRoundNumbersAgree(t *testing.T) {
+	rec := &eventRecorder{}
+	db, err := Open(concurrentSchema, WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force conflicts on the first two attempts; the third commits.
+	hooks.ConcurrentPreCommit = func(attempt int) {
+		if attempt < 2 {
+			if _, err := db.Exec("mode ridv.\nrules p0(x: " + string(rune('0'+attempt)) + ").\nend.\n"); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	defer func() { hooks.ConcurrentPreCommit = nil }()
+
+	if _, err := db.ExecConcurrent("mode ridv.\nrules p1(x: 1).\nend.\n"); err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+
+	conflicts := rec.byKind(obs.KindModuleConflict)
+	retries := rec.byKind(obs.KindModuleRetry)
+	commits := rec.byKind(obs.KindModuleCommit)
+	if len(conflicts) != 2 || len(retries) != 2 || len(commits) == 0 {
+		t.Fatalf("events: %d conflicts, %d retries, %d commits; want 2, 2, >=1",
+			len(conflicts), len(retries), len(commits))
+	}
+	for i := range conflicts {
+		if conflicts[i].Round != i {
+			t.Errorf("conflict %d: Round = %d, want %d", i, conflicts[i].Round, i)
+		}
+		if retries[i].Round != conflicts[i].Round {
+			t.Errorf("retry %d: Round = %d, conflict Round = %d; want the same attempt index",
+				i, retries[i].Round, conflicts[i].Round)
+		}
+		if retries[i].Duration <= 0 {
+			t.Errorf("retry %d: Duration = %v, want > 0", i, retries[i].Duration)
+		}
+	}
+	if got := commits[len(commits)-1].Round; got != 2 {
+		t.Errorf("commit Round = %d, want 2 (third attempt)", got)
+	}
+}
+
+// TestRetryBackoffSleepsMonotonically drives a large-retry conflict loop
+// end to end and asserts the traced backoff durations are monotonically
+// non-decreasing and never negative — the observable symptom of the
+// overflow was a sudden drop to immediate firing.
+func TestRetryBackoffSleepsMonotonically(t *testing.T) {
+	rec := &eventRecorder{}
+	db, err := Open(concurrentSchema, WithTracer(rec), WithMaxRetries(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks.ConcurrentPreCommit = func(int) {
+		// Conflict on every attempt until the budget exhausts.
+		if _, err := db.Exec("mode ridv.\nrules p0(x: 7).\nend.\n"); err != nil {
+			t.Error(err)
+		}
+	}
+	defer func() { hooks.ConcurrentPreCommit = nil }()
+
+	if _, err := db.ExecConcurrent("mode ridv.\nrules p1(x: 1).\nend.\n"); err == nil {
+		t.Fatal("want retry exhaustion, got success")
+	}
+	retries := rec.byKind(obs.KindModuleRetry)
+	if len(retries) != 6 {
+		t.Fatalf("retry events = %d, want 6", len(retries))
+	}
+	var prev time.Duration
+	for i, ev := range retries {
+		if ev.Duration <= 0 {
+			t.Fatalf("retry %d slept %v, want > 0", i, ev.Duration)
+		}
+		if ev.Duration < prev {
+			t.Fatalf("retry %d slept %v < previous %v, want monotone non-decreasing", i, ev.Duration, prev)
+		}
+		prev = ev.Duration
+	}
+}

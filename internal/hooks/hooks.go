@@ -1,0 +1,13 @@
+// Package hooks holds test-only injection points shared across
+// packages. Production code paths check these for nil and pay one
+// predictable branch; tests in any package of the module (the root
+// package's conflict tests, the server's deterministic-409 and
+// drain tests) install them to steer otherwise racy interleavings.
+package hooks
+
+// ConcurrentPreCommit, when non-nil, runs after the snapshot
+// application and before the commit critical section of each optimistic
+// attempt (logres.ApplyConcurrentContext) — the injection point
+// conflict tests use to commit a competing write in the validation
+// window, and drain tests use to hold an apply in flight.
+var ConcurrentPreCommit func(attempt int)

@@ -6,13 +6,31 @@ import (
 	"net/http/pprof"
 )
 
-// Handler returns an http.Handler serving the registry in Prometheus
-// text exposition format.
-func (m *Metrics) Handler() http.Handler {
+// readOnly restricts a handler to GET and HEAD, answering anything else
+// with 405 and an Allow header. The observability endpoints are pure
+// reads; rejecting other methods keeps the mux safe to mount beside
+// mutating data-plane routes (a POST routed here by mistake must not be
+// silently served as if it were a read).
+func readOnly(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, http.StatusText(http.StatusMethodNotAllowed), http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format. Only GET and HEAD are served; other methods
+// get 405.
+func (m *Metrics) Handler() http.Handler {
+	return readOnly(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = m.WriteTo(w)
-	})
+	}))
 }
 
 // NewServeMux wires the standard observability endpoints onto one mux:
@@ -21,15 +39,17 @@ func (m *Metrics) Handler() http.Handler {
 //	/debug/vars    expvar JSON (publish m with PublishExpvar to include it)
 //	/debug/pprof/  the net/http/pprof profiling surface
 //
-// This is what `logres -metrics-addr` serves.
+// Every route is GET/HEAD-only (405 otherwise), so the mux can be
+// mounted beside mutating data-plane routes. This is what
+// `logres -metrics-addr` and `logres-server` serve.
 func NewServeMux(m *Metrics) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", m.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", readOnly(expvar.Handler()))
+	mux.Handle("/debug/pprof/", readOnly(http.HandlerFunc(pprof.Index)))
+	mux.Handle("/debug/pprof/cmdline", readOnly(http.HandlerFunc(pprof.Cmdline)))
+	mux.Handle("/debug/pprof/profile", readOnly(http.HandlerFunc(pprof.Profile)))
+	mux.Handle("/debug/pprof/symbol", readOnly(http.HandlerFunc(pprof.Symbol)))
+	mux.Handle("/debug/pprof/trace", readOnly(http.HandlerFunc(pprof.Trace)))
 	return mux
 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServeMuxReadOnly: every observability route serves GET and HEAD
+// and rejects mutating methods with 405 + Allow, so the mux is safe to
+// mount beside data-plane routes that do mutate.
+func TestServeMuxReadOnly(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("logres_test_total").Add(3)
+	mux := NewServeMux(m)
+
+	routes := []string{"/metrics", "/debug/vars", "/debug/pprof/"}
+	for _, route := range routes {
+		for _, method := range []string{http.MethodGet, http.MethodHead} {
+			rr := httptest.NewRecorder()
+			mux.ServeHTTP(rr, httptest.NewRequest(method, route, nil))
+			if rr.Code != http.StatusOK {
+				t.Errorf("%s %s = %d, want 200", method, route, rr.Code)
+			}
+		}
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			rr := httptest.NewRecorder()
+			mux.ServeHTTP(rr, httptest.NewRequest(method, route, strings.NewReader("x")))
+			if rr.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, route, rr.Code)
+			}
+			if allow := rr.Header().Get("Allow"); allow != "GET, HEAD" {
+				t.Errorf("%s %s Allow = %q, want \"GET, HEAD\"", method, route, allow)
+			}
+		}
+	}
+}
+
+// TestMetricsHandlerServesExposition: the happy path still works after
+// the method guard, and a POST to the bare Handler is rejected too.
+func TestMetricsHandlerServesExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("logres_rounds_total").Add(7)
+	h := m.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET = %d, want 200", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "logres_rounds_total 7") {
+		t.Fatalf("exposition missing counter:\n%s", rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/metrics", strings.NewReader("x")))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST = %d, want 405", rr.Code)
+	}
+}

@@ -85,8 +85,9 @@ const (
 	// footprints. Nondeterministic.
 	KindModuleConflict Kind = "module.conflict"
 	// KindModuleRetry reports the backoff before a re-application:
-	// Round = the upcoming attempt number, Duration = the backoff
-	// slept. Nondeterministic.
+	// Round = the attempt whose conflict triggered the backoff (the same
+	// index the paired KindModuleConflict carries), Duration = the
+	// backoff slept. Nondeterministic.
 	KindModuleRetry Kind = "module.retry"
 	// KindClosureRound reports one algres closure round: Round,
 	// Count = tuples inserted this round, Total = cumulative insertions.

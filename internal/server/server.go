@@ -1,0 +1,511 @@
+// Package server implements the logres-server HTTP/JSON data plane: a
+// registry of named databases, module application over the optimistic
+// concurrent path, streamed query answers, and the typed error mapping
+// that puts every engine failure mode on the wire (see errors.go). The
+// observability mux (/metrics, /debug/vars, /debug/pprof) is mounted
+// beside the data plane so one listener serves both.
+//
+// Concurrency model: requests are handled on the standard library's
+// per-connection goroutines; module applications go through
+// ExecConcurrentContext, so requests touching disjoint predicates
+// evaluate in parallel and only serialize for the commit critical
+// section. Graceful shutdown drains in-flight applications (Shutdown),
+// falling back to context cancellation when the grace period expires —
+// the engine's all-or-nothing abort guarantees a canceled application
+// leaves no partial state.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logres"
+	"logres/client"
+	"logres/internal/obs"
+)
+
+// DefaultQueryChunkSize bounds the rows per streamed query chunk when
+// the request does not choose one.
+const DefaultQueryChunkSize = 256
+
+// Options configures a Server.
+type Options struct {
+	// Metrics is the shared registry every database and the HTTP layer
+	// record into, served on /metrics; nil creates a fresh one.
+	Metrics *logres.Metrics
+	// QueryChunkSize overrides DefaultQueryChunkSize (<= 0 keeps it).
+	QueryChunkSize int
+}
+
+// Server is the data-plane handler plus the database registry.
+type Server struct {
+	metrics   *logres.Metrics
+	chunkSize int
+	mux       *http.ServeMux
+
+	mu  sync.RWMutex
+	dbs map[string]*logres.Database
+
+	// draining rejects new data-plane requests with 503 once shutdown
+	// starts; inflight tracks the requests already past that gate.
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	// forceCtx is canceled when the shutdown grace period expires,
+	// aborting in-flight evaluations through their contexts.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+}
+
+// New builds a server with an empty registry.
+func New(opts Options) *Server {
+	m := opts.Metrics
+	if m == nil {
+		m = logres.NewMetrics()
+	}
+	chunk := opts.QueryChunkSize
+	if chunk <= 0 {
+		chunk = DefaultQueryChunkSize
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		metrics:     m,
+		chunkSize:   chunk,
+		dbs:         map[string]*logres.Database{},
+		forceCtx:    ctx,
+		forceCancel: cancel,
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the combined data-plane + observability handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the shared registry (databases created through the
+// API record into it; preloaded databases should be opened with
+// logres.WithMetrics(s.Metrics()) to share it).
+func (s *Server) Metrics() *logres.Metrics { return s.metrics }
+
+// Add registers a preloaded database (a snapshot or schema the daemon
+// opened before serving) under name.
+func (s *Server) Add(name string, db *logres.Database) error {
+	if err := validateDBName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dbs[name]; ok {
+		return fmt.Errorf("server: database %q already exists", name)
+	}
+	s.dbs[name] = db
+	return nil
+}
+
+// Shutdown drains the server: new data-plane requests get 503, and the
+// call blocks until every in-flight request finished. When ctx expires
+// first, in-flight evaluations are canceled through their contexts (the
+// engine aborts between rounds with a *CanceledError and state
+// untouched) and Shutdown still waits for the handlers to unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// routes wires the data plane and mounts the observability mux beside
+// it. Observability routes are GET/HEAD-only (obs.NewServeMux guards
+// them), so the combined mux has no method ambiguity.
+func (s *Server) routes() {
+	s.mux.Handle("GET /v1/db", s.dataPlane("list", s.handleList))
+	s.mux.Handle("PUT /v1/db/{name}", s.dataPlane("create", s.handleCreate))
+	s.mux.Handle("GET /v1/db/{name}", s.dataPlane("info", s.handleInfo))
+	s.mux.Handle("DELETE /v1/db/{name}", s.dataPlane("drop", s.handleDrop))
+	s.mux.Handle("POST /v1/db/{name}/exec", s.dataPlane("exec", s.handleExec))
+	s.mux.Handle("POST /v1/db/{name}/query", s.dataPlane("query", s.handleQuery))
+	s.mux.Handle("GET /v1/db/{name}/instance", s.dataPlane("instance", s.handleInstance))
+	s.mux.Handle("POST /v1/db/{name}/register", s.dataPlane("register", s.handleRegister))
+
+	obsMux := obs.NewServeMux(s.metrics)
+	s.mux.Handle("/metrics", obsMux)
+	s.mux.Handle("/debug/", obsMux)
+}
+
+// dataPlane wraps one route handler with the shared request plumbing:
+// the draining gate, in-flight tracking for Shutdown, the force-cancel
+// context merge, and per-route request/latency/status metrics.
+func (s *Server) dataPlane(route string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable,
+				client.ErrorResponse{Error: "server is shutting down", Kind: client.KindDraining})
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+
+		// The evaluation context is the request's, additionally canceled
+		// when the shutdown grace period expires.
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		stop := context.AfterFunc(s.forceCtx, cancel)
+		defer stop()
+		r = r.WithContext(ctx)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.Counter(fmt.Sprintf("logres_http_requests_total{route=%q}", route)).Add(1)
+		s.metrics.Counter(fmt.Sprintf("logres_http_responses_total{route=%q,code=\"%d\"}", route, rec.status)).Add(1)
+		s.metrics.Histogram(fmt.Sprintf("logres_http_request_duration_ns{route=%q}", route)).
+			Observe(time.Since(start).Nanoseconds())
+	})
+}
+
+// statusRecorder captures the response status for metrics while
+// preserving the Flusher the streaming handlers need.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Registry handlers.
+// ---------------------------------------------------------------------------
+
+func validateDBName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("server: database name must be 1-128 characters")
+	}
+	for _, r := range name {
+		if !(r == '-' || r == '_' || r == '.' ||
+			('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')) {
+			return fmt.Errorf("server: database name %q contains %q; allowed: letters, digits, '-', '_', '.'", name, r)
+		}
+	}
+	return nil
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*logres.Database, bool) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	db, ok := s.dbs[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			client.ErrorResponse{Error: fmt.Sprintf("no database %q", name), Kind: client.KindNotFound})
+		return nil, false
+	}
+	return db, true
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.dbs))
+	for name := range s.dbs {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, client.ListResponse{Databases: names})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validateDBName(name); err != nil {
+		writeError(w, http.StatusBadRequest, client.ErrorResponse{Error: err.Error(), Kind: client.KindInvalid})
+		return
+	}
+	var req client.CreateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	opts := []logres.Option{logres.WithMetrics(s.metrics)}
+	if o := req.Options; o != nil {
+		if o.Workers != 0 {
+			opts = append(opts, logres.WithWorkers(o.Workers))
+		}
+		if o.Shards != 0 {
+			opts = append(opts, logres.WithShards(o.Shards))
+		}
+		if o.MaxRetries != 0 {
+			opts = append(opts, logres.WithMaxRetries(o.MaxRetries))
+		}
+		if b := o.Budget; b != nil {
+			opts = append(opts, logres.WithBudget(logres.Budget{
+				MaxRounds: b.MaxRounds,
+				MaxFacts:  b.MaxFacts,
+				MaxOIDs:   b.MaxOIDs,
+				Timeout:   b.Timeout(),
+			}))
+		}
+	}
+	db, err := logres.Open(req.Schema, opts...)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.dbs[name]; ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict,
+			client.ErrorResponse{Error: fmt.Sprintf("database %q already exists", name), Kind: client.KindExists})
+		return
+	}
+	s.dbs[name] = db
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.info(name, db))
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(r.PathValue("name"), db))
+}
+
+func (s *Server) info(name string, db *logres.Database) client.DBInfo {
+	return client.DBInfo{
+		Name:    name,
+		Epoch:   db.CommitEpoch(),
+		Rules:   db.RuleCount(),
+		Modules: db.Modules(),
+		Schema:  db.Schema(),
+	}
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.dbs[name]
+	delete(s.dbs, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			client.ErrorResponse{Error: fmt.Sprintf("no database %q", name), Kind: client.KindNotFound})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane handlers.
+// ---------------------------------------------------------------------------
+
+// modeNames maps wire mode names onto the engine's application modes.
+var modeNames = map[string]logres.Mode{
+	"RIDI": logres.RIDI, "RADI": logres.RADI, "RDDI": logres.RDDI,
+	"RIDV": logres.RIDV, "RADV": logres.RADV, "RDDV": logres.RDDV,
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.ExecRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m, err := logres.ParseModule(req.Module)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	mode := m.Mode
+	if req.Mode != "" {
+		parsed, ok := modeNames[strings.ToUpper(req.Mode)]
+		if !ok {
+			writeError(w, http.StatusBadRequest,
+				client.ErrorResponse{Error: fmt.Sprintf("unknown mode %q", req.Mode), Kind: client.KindInvalid})
+			return
+		}
+		mode = parsed
+	}
+	var callOpts []logres.CallOption
+	if req.MaxRetries != 0 {
+		callOpts = append(callOpts, logres.WithCallMaxRetries(req.MaxRetries))
+	}
+	var res *logres.Result
+	if req.Serial {
+		res, err = db.ApplyContext(r.Context(), m, mode, callOpts...)
+	} else {
+		res, err = db.ApplyConcurrentContext(r.Context(), m, mode, callOpts...)
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.ExecResponse{
+		Mode:   res.Mode.String(),
+		Answer: answerJSON(res.Answer),
+		Epoch:  db.CommitEpoch(),
+	})
+}
+
+// handleQuery streams the goal's answer as NDJSON: one QueryHeader
+// line, QueryChunk lines of at most chunk_size rows each (flushed as
+// they are written, so a client can consume early rows while later
+// chunks are still in flight), and a QueryTrailer.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	ans, err := db.QueryContext(r.Context(), req.Goal)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	chunk := req.ChunkSize
+	if chunk <= 0 {
+		chunk = s.chunkSize
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Encode(client.QueryHeader{Vars: ans.Vars}); err != nil {
+		return
+	}
+	flush()
+	rows := renderRows(ans.Rows)
+	for start := 0; start < len(rows); start += chunk {
+		end := start + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := enc.Encode(client.QueryChunk{Rows: rows[start:end]}); err != nil {
+			return
+		}
+		flush()
+	}
+	_ = enc.Encode(client.QueryTrailer{Done: true, Total: len(rows)})
+	flush()
+}
+
+// handleInstance streams the derived instance as NDJSON InstanceFact
+// lines followed by a QueryTrailer carrying the fact count.
+func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	facts, err := db.Instance()
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i, f := range facts {
+		if err := enc.Encode(client.InstanceFact{Pred: f.Pred, Fact: f.String()}); err != nil {
+			return
+		}
+		// Flush periodically, not per fact: instances can be large.
+		if flusher != nil && (i+1)%1024 == 0 {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(client.QueryTrailer{Done: true, Total: len(facts)})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := db.Register(req.Module); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---------------------------------------------------------------------------
+// Wire helpers.
+// ---------------------------------------------------------------------------
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest,
+			client.ErrorResponse{Error: "malformed request body: " + err.Error(), Kind: client.KindInvalid})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// answerJSON renders an engine answer for the wire: values in LOGRES
+// syntax, deterministic row order preserved.
+func answerJSON(ans *logres.Answer) *client.Answer {
+	if ans == nil {
+		return nil
+	}
+	return &client.Answer{Vars: ans.Vars, Rows: renderRows(ans.Rows)}
+}
+
+func renderRows(rows [][]logres.Value) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		out[i] = cells
+	}
+	return out
+}

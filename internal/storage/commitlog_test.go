@@ -66,6 +66,40 @@ func TestCommitLogPrunedHistoryConflicts(t *testing.T) {
 	}
 }
 
+// TestCommitLogValidateWindowBoundary pins the exact edge of the
+// retained window: a snapshot at base-1 (one epoch before the oldest
+// retained entry) still validates precisely — it sees every retained
+// entry — while a snapshot one epoch older falls off the window and
+// conservatively conflicts as "$pruned$".
+func TestCommitLogValidateWindowBoundary(t *testing.T) {
+	const window = 4
+	l := NewCommitLog(window)
+	// Record window+2 entries so base = 3: epochs 1 and 2 are pruned,
+	// epochs 3..6 retained.
+	for i := 0; i < window+2; i++ {
+		l.Record(guard.Footprint{Writes: []string{"p"}})
+	}
+	base := l.Epoch() - uint64(window) + 1 // oldest retained epoch
+
+	// since == base-1: the snapshot predates exactly the retained
+	// entries, none older — the oldest validatable snapshot.
+	if pred, _, ok := l.Validate(base-1, guard.Footprint{Reads: []string{"unrelated"}}); !ok {
+		t.Fatalf("since == base-1 hit the pruned path (pred %q), want precise validation", pred)
+	}
+	// Against the retained window it still detects real conflicts.
+	if _, _, ok := l.Validate(base-1, guard.Footprint{Reads: []string{"p"}}); ok {
+		t.Fatal("since == base-1 missed a conflict inside the window")
+	}
+	// since == base-2: one epoch older than the window prunes.
+	pred, theirs, ok := l.Validate(base-2, guard.Footprint{Reads: []string{"unrelated"}})
+	if ok {
+		t.Fatal("since == base-2 validated against pruned history")
+	}
+	if pred != "$pruned$" || !theirs.Universal {
+		t.Fatalf("pruned conflict = (%q, %+v), want ($pruned$, universal)", pred, theirs)
+	}
+}
+
 func TestCommitLogUniversalCommitConflictsWithEverything(t *testing.T) {
 	l := NewCommitLog(0)
 	e0 := l.Epoch()

@@ -138,6 +138,9 @@ type CallOption func(*callOpts)
 
 type callOpts struct {
 	budget Budget
+	// maxRetries overrides (not tightens) the retry bound: negative
+	// disables retries, which Tighten cannot express.
+	maxRetries int
 }
 
 // WithCallBudget tightens the database-wide budget for one call: each
@@ -146,6 +149,16 @@ type callOpts struct {
 // surface as the usual typed *BudgetError.
 func WithCallBudget(b Budget) CallOption {
 	return func(c *callOpts) { c.budget = b }
+}
+
+// WithCallMaxRetries overrides the conflict retry bound of one
+// concurrent application (ApplyConcurrent / ExecConcurrent): n > 0 sets
+// the bound, n < 0 disables retries so the first conflict surfaces the
+// *ConflictError, n == 0 inherits the database's setting. Unlike
+// WithCallBudget this is an override, not a tightening — a per-request
+// "fail fast" needs to express the negative case.
+func WithCallMaxRetries(n int) CallOption {
+	return func(c *callOpts) { c.maxRetries = n }
 }
 
 // applyCallOptions folds per-call options into a copy of the engine
@@ -162,6 +175,9 @@ func applyCallOptions(opts engine.Options, cos []CallOption) engine.Options {
 	opts.Budget = opts.Budget.Tighten(c.budget)
 	if n := c.budget.MaxRounds; n > 0 && (opts.MaxSteps == 0 || n < opts.MaxSteps) {
 		opts.MaxSteps = n
+	}
+	if c.maxRetries != 0 {
+		opts.Budget.MaxRetries = c.maxRetries
 	}
 	return opts
 }
