@@ -57,7 +57,7 @@ func main() {
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
-		{"E15", runE15}, {"E16", runE16},
+		{"E15", runE15}, {"E16", runE16}, {"E17", runE17},
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -140,6 +140,39 @@ func runSmoke(path string) error {
 			})
 		}
 	}
+	// E17 rows: row vs columnar evaluation on the E1 chain-128 closure.
+	// The pair is the artifact's record of the vectorized speedup.
+	for _, vec := range []bool{false, true} {
+		s, err := bench.NewLogresTC(bench.Chain(128), true)
+		if err != nil {
+			return err
+		}
+		name := "E17_tc_chain128_row"
+		if vec {
+			s.Program.SetVectorize(true)
+			name = "E17_tc_chain128_vectorized"
+		}
+		if _, err := s.Run(); err != nil { // warm-up
+			return err
+		}
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < 500*time.Millisecond || iters < 5 {
+			if _, err := s.Run(); err != nil {
+				return err
+			}
+			iters++
+		}
+		results = append(results, smokeResult{
+			Name:    name,
+			Tracer:  "off",
+			Workers: 1,
+			Shards:  1,
+			Iters:   iters,
+			NsPerOp: time.Since(start).Nanoseconds() / int64(iters),
+		})
+	}
+
 	// E15 throughput rows: one module application is one "op".
 	const e15Total = 96
 	dSerial, err := e15Serial(e15Total)
@@ -548,6 +581,57 @@ func runE12(quick bool) (*bench.Table, error) {
 			}
 			t.AddRow(n, workers, shards, derived, d, float64(serial)/float64(d))
 		}
+	}
+	return t, nil
+}
+
+func runE17(quick bool) (*bench.Table, error) {
+	t := &bench.Table{
+		Title:   "E17 — row vs columnar evaluation (chain closure + join micro)",
+		Columns: []string{"n", "derived", "row-semi", "vectorized", "speedup", "join-row", "join-vec"},
+	}
+	for _, n := range sizes(quick, []int{32, 64, 128}, []int{16, 32}) {
+		edges := bench.Chain(n)
+		sr, err := bench.NewLogresTC(edges, true)
+		if err != nil {
+			return nil, err
+		}
+		var derived int
+		dRow, err := bench.Timed(func() error {
+			var err error
+			derived, err = sr.Run()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		sv, err := bench.NewLogresTC(edges, true)
+		if err != nil {
+			return nil, err
+		}
+		sv.Program.SetVectorize(true)
+		var derivedVec int
+		dVec, err := bench.Timed(func() error {
+			var err error
+			derivedVec, err = sv.Run()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if derivedVec != derived {
+			return nil, fmt.Errorf("E17: vectorized derived %d facts, row %d", derivedVec, derived)
+		}
+		a := bench.NewAlgebraOps(n * 50)
+		dJoinRow, err := bench.Timed(func() error { a.Join(); return nil })
+		if err != nil {
+			return nil, err
+		}
+		dJoinVec, err := bench.Timed(func() error { a.JoinVec(); return nil })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, derived, dRow, dVec, float64(dRow)/float64(dVec), dJoinRow, dJoinVec)
 	}
 	return t, nil
 }

@@ -241,7 +241,7 @@ func (rp *RuleProgram) evalRule(db *DB, ar *algRule, deltaPred string, delta *Re
 		if joined == nil {
 			joined = rel
 		} else {
-			joined = JoinWorkers(joined, rel, rp.opts.JoinWorkers)
+			joined = rp.opts.join(joined, rel)
 		}
 	}
 	if joined == nil {
@@ -294,7 +294,7 @@ func (rp *RuleProgram) evalRule(db *DB, ar *algRule, deltaPred string, delta *Re
 		if err != nil {
 			return nil, err
 		}
-		joined = AntiJoinWorkers(joined, rel, rp.opts.JoinWorkers)
+		joined = rp.opts.antiJoin(joined, rel)
 	}
 	// Head projection.
 	out := NewRelation(rp.schemas[ar.headPred]...)

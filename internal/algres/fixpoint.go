@@ -26,6 +26,12 @@ type Opts struct {
 	// anti-join (≤ 1 = serial). Results are identical for any value — the
 	// parallel operators merge partition buffers in order.
 	JoinWorkers int
+	// Vectorize routes every join and anti-join through the columnar
+	// kernels (JoinVec/AntiJoinVec: dictionary-encoded key columns, hash
+	// join on uint32 codes) instead of the row operators. Results are
+	// identical; JoinWorkers is ignored on the vectorized path (the
+	// kernels are batch-at-a-time).
+	Vectorize bool
 	// Ctx cancels the closure between rounds; aborts surface as
 	// *guard.CanceledError. nil means no cancellation.
 	Ctx context.Context
@@ -171,7 +177,7 @@ func TransitiveClosureOpts(edges *Relation, from, to string, opts Opts) (*Relati
 		// tc(from, to) ⋈ edge(to=from', to') — rename to line up the join.
 		mid := Rename(tc, map[string]string{from: "$a", to: "$m"})
 		step := Rename(e, map[string]string{from: "$m", to: "$b"})
-		joined := JoinWorkers(mid, step, opts.JoinWorkers)
+		joined := opts.join(mid, step)
 		proj, err := Project(joined, "$a", "$b")
 		if err != nil {
 			return nil, err

@@ -94,12 +94,26 @@ func Join(l, rR *Relation) *Relation { return JoinWorkers(l, rR, 1) }
 // serial: partitioning tiny probes costs more than it saves.
 const joinParallelCutoff = 256
 
+// appendKey appends t's packed join key on the shared attributes to
+// buf (reused across tuples: the repeated string-concatenation key
+// builder allocated per tuple per probe).
+func appendKey(buf []byte, t value.Tuple, shared []string) []byte {
+	buf = buf[:0]
+	for _, a := range shared {
+		v, _ := t.Get(a)
+		buf = append(buf, v.Key()...)
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
 // JoinWorkers is Join with the probe side partitioned across a worker
-// pool. The build-side hash index is constructed once and shared
-// read-only; each worker probes a contiguous slice of the left tuples
-// (taken in canonical order) into a private buffer, and the buffers are
-// merged in partition order, so the result is identical to the serial
-// join for any worker count.
+// pool. The hash index is built once on the smaller relation and shared
+// read-only; each worker probes a contiguous slice of the larger side's
+// tuples (taken in canonical order) into a private buffer with a
+// private key buffer, and the buffers are merged in partition order.
+// The result relation is canonical (a set keyed by tuple identity), so
+// it is identical for any worker count and either build side.
 func JoinWorkers(l, rR *Relation, workers int) *Relation {
 	var shared []string
 	for _, a := range l.attrs {
@@ -115,54 +129,67 @@ func JoinWorkers(l, rR *Relation, workers int) *Relation {
 	}
 	out := NewRelation(attrs...)
 
-	// Hash join on the shared attributes.
-	key := func(t value.Tuple) string {
-		k := ""
-		for _, a := range shared {
-			v, _ := t.Get(a)
-			k += v.Key() + "\x00"
+	// Build on the smaller side, probe the larger: the index costs one
+	// map insert per build tuple, the probe side only lookups.
+	build, probeRel := rR, l
+	buildIsRight := true
+	if l.Len() < rR.Len() {
+		build, probeRel = l, rR
+		buildIsRight = false
+	}
+	index := make(map[string][]value.Tuple, build.Len())
+	var buf []byte
+	for _, t := range build.Tuples() {
+		buf = appendKey(buf, t, shared)
+		index[string(buf)] = append(index[string(buf)], t)
+	}
+
+	// combine concatenates a left and a right tuple in output attribute
+	// order (left attributes, then right extras), whichever side was
+	// probed.
+	combine := func(lt, rt value.Tuple) value.Tuple {
+		fields := make([]value.Field, 0, len(attrs))
+		for i := 0; i < lt.Len(); i++ {
+			fields = append(fields, lt.Field(i))
 		}
-		return k
+		for i := 0; i < rt.Len(); i++ {
+			f := rt.Field(i)
+			if !l.HasAttr(f.Label) {
+				fields = append(fields, f)
+			}
+		}
+		return value.NewTuple(fields...)
 	}
-	index := map[string][]value.Tuple{}
-	for _, t := range rR.Tuples() {
-		k := key(t)
-		index[k] = append(index[k], t)
-	}
-	probe := func(lts []value.Tuple, emit func(value.Tuple)) {
-		for _, lt := range lts {
-			for _, rt := range index[key(lt)] {
-				fields := make([]value.Field, 0, len(attrs))
-				for i := 0; i < lt.Len(); i++ {
-					fields = append(fields, lt.Field(i))
+	probe := func(pts []value.Tuple, emit func(value.Tuple)) {
+		buf := make([]byte, 0, 64)
+		for _, pt := range pts {
+			buf = appendKey(buf, pt, shared)
+			for _, bt := range index[string(buf)] {
+				if buildIsRight {
+					emit(combine(pt, bt))
+				} else {
+					emit(combine(bt, pt))
 				}
-				for i := 0; i < rt.Len(); i++ {
-					f := rt.Field(i)
-					if !l.HasAttr(f.Label) {
-						fields = append(fields, f)
-					}
-				}
-				emit(value.NewTuple(fields...))
 			}
 		}
 	}
 
-	left := l.Tuples()
-	if workers > len(left) {
-		workers = len(left)
+	probeTuples := probeRel.Tuples()
+	if workers > len(probeTuples) {
+		workers = len(probeTuples)
 	}
-	if workers <= 1 || len(left) < joinParallelCutoff {
-		probe(left, func(t value.Tuple) { out.Insert(t) })
+	if workers <= 1 || len(probeTuples) < joinParallelCutoff {
+		probe(probeTuples, func(t value.Tuple) { out.Insert(t) })
 		return out
 	}
 	parts := make([][]value.Tuple, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo, hi := w*len(left)/workers, (w+1)*len(left)/workers
+		lo, hi := w*len(probeTuples)/workers, (w+1)*len(probeTuples)/workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			probe(left[lo:hi], func(t value.Tuple) { parts[w] = append(parts[w], t) })
+			probe(probeTuples[lo:hi], func(t value.Tuple) { parts[w] = append(parts[w], t) })
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -191,17 +218,14 @@ func AntiJoinWorkers(l, rR *Relation, workers int) *Relation {
 			shared = append(shared, a)
 		}
 	}
-	key := func(t value.Tuple) string {
-		k := ""
-		for _, a := range shared {
-			v, _ := t.Get(a)
-			k += v.Key() + "\x00"
-		}
-		return k
-	}
-	present := map[string]bool{}
+	// Membership is asymmetric (which left tuples have partners), so the
+	// index is always on the right; only the key building is shared with
+	// JoinWorkers' reused-buffer scheme.
+	present := make(map[string]bool, rR.Len())
+	var buf []byte
 	for _, t := range rR.Tuples() {
-		present[key(t)] = true
+		buf = appendKey(buf, t, shared)
+		present[string(buf)] = true
 	}
 	out := NewRelation(l.attrs...)
 	left := l.Tuples()
@@ -210,7 +234,8 @@ func AntiJoinWorkers(l, rR *Relation, workers int) *Relation {
 	}
 	if workers <= 1 || len(left) < joinParallelCutoff {
 		for _, t := range left {
-			if !present[key(t)] {
+			buf = appendKey(buf, t, shared)
+			if !present[string(buf)] {
 				out.Insert(t)
 			}
 		}
@@ -223,8 +248,10 @@ func AntiJoinWorkers(l, rR *Relation, workers int) *Relation {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			buf := make([]byte, 0, 64)
 			for _, t := range left[lo:hi] {
-				if !present[key(t)] {
+				buf = appendKey(buf, t, shared)
+				if !present[string(buf)] {
 					parts[w] = append(parts[w], t)
 				}
 			}

@@ -1,0 +1,220 @@
+package algres
+
+// Vectorized ALGRES operators. Each operator dictionary-encodes its
+// input relations into columnar batches (internal/colset), runs the
+// uint32-code kernel, and materializes the result from the original
+// tuples — no value is decoded through the dictionary, and no per-tuple
+// key string is built on the probe path. Every operator is
+// differentially tested against its row counterpart: same relation,
+// same canonical order.
+
+import (
+	"fmt"
+
+	"logres/internal/colset"
+	"logres/internal/value"
+)
+
+// encodeCols encodes the named attributes of the tuples (assumed
+// normalized to the relation's attribute order) into one code column
+// per attribute.
+func encodeCols(d *colset.Dict, r *Relation, tuples []value.Tuple, attrs []string) [][]uint32 {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx[i] = -1
+		for j, ra := range r.attrs {
+			if ra == a {
+				idx[i] = j
+				break
+			}
+		}
+	}
+	cols := make([][]uint32, len(attrs))
+	for c := range cols {
+		cols[c] = make([]uint32, len(tuples))
+	}
+	for ti, t := range tuples {
+		for c, j := range idx {
+			v := value.Value(value.Null{})
+			if j >= 0 {
+				v = t.Field(j).Value
+			}
+			cols[c][ti] = d.Code(v)
+		}
+	}
+	return cols
+}
+
+// sharedAttrs returns l's attributes also present in r, in l order.
+func sharedAttrs(l, r *Relation) []string {
+	var shared []string
+	for _, a := range l.attrs {
+		if r.HasAttr(a) {
+			shared = append(shared, a)
+		}
+	}
+	return shared
+}
+
+// JoinVec is the vectorized natural join: identical to Join, computed
+// by a hash join over dictionary codes.
+func JoinVec(l, rR *Relation) *Relation {
+	shared := sharedAttrs(l, rR)
+	attrs := append([]string{}, l.attrs...)
+	for _, a := range rR.attrs {
+		if !l.HasAttr(a) {
+			attrs = append(attrs, a)
+		}
+	}
+	out := NewRelation(attrs...)
+	lts, rts := l.Tuples(), rR.Tuples()
+	d := colset.NewDict()
+	lkeys := encodeCols(d, l, lts, shared)
+	rkeys := encodeCols(d, rR, rts, shared)
+	lidx, ridx := colset.Join(lkeys, len(lts), nil, rkeys, len(rts), nil)
+	var rExtra []int
+	for j, a := range rR.attrs {
+		if !l.HasAttr(a) {
+			rExtra = append(rExtra, j)
+		}
+	}
+	for k := range lidx {
+		lt, rt := lts[lidx[k]], rts[ridx[k]]
+		fields := make([]value.Field, 0, len(attrs))
+		for i := 0; i < lt.Len(); i++ {
+			fields = append(fields, lt.Field(i))
+		}
+		for _, j := range rExtra {
+			fields = append(fields, rt.Field(j))
+		}
+		out.Insert(value.NewTuple(fields...))
+	}
+	return out
+}
+
+// AntiJoinVec is the vectorized anti-join: the tuples of l with no
+// partner in r on the shared attributes.
+func AntiJoinVec(l, rR *Relation) *Relation {
+	shared := sharedAttrs(l, rR)
+	out := NewRelation(l.attrs...)
+	lts, rts := l.Tuples(), rR.Tuples()
+	d := colset.NewDict()
+	lkeys := encodeCols(d, l, lts, shared)
+	rkeys := encodeCols(d, rR, rts, shared)
+	for _, i := range colset.AntiJoin(lkeys, len(lts), nil, rkeys, len(rts), nil) {
+		out.Insert(lts[i])
+	}
+	return out
+}
+
+// SelectEqConstVec is the vectorized SelectEqConst: one column scan
+// against one interned code.
+func SelectEqConstVec(r *Relation, attr string, v value.Value) *Relation {
+	out := NewRelation(r.attrs...)
+	if !r.HasAttr(attr) {
+		return out
+	}
+	ts := r.Tuples()
+	d := colset.NewDict()
+	col := encodeCols(d, r, ts, []string{attr})[0]
+	code, ok := d.Lookup(v)
+	if !ok {
+		// v was never interned while encoding the column, so no tuple
+		// holds it.
+		return out
+	}
+	for _, i := range colset.SelectEq(col, len(ts), nil, code) {
+		out.Insert(ts[i])
+	}
+	return out
+}
+
+// SelectEqAttrVec is the vectorized SelectEqAttr: two columns compared
+// code against code.
+func SelectEqAttrVec(r *Relation, a, b string) *Relation {
+	out := NewRelation(r.attrs...)
+	if !r.HasAttr(a) || !r.HasAttr(b) {
+		return out
+	}
+	ts := r.Tuples()
+	d := colset.NewDict()
+	cols := encodeCols(d, r, ts, []string{a, b})
+	for _, i := range colset.SelectColEq(cols[0], cols[1], len(ts), nil) {
+		out.Insert(ts[i])
+	}
+	return out
+}
+
+// ProjectVec is the vectorized Project: duplicate elimination runs on
+// packed code rows before any projected tuple is materialized.
+func ProjectVec(r *Relation, attrs ...string) (*Relation, error) {
+	for _, a := range attrs {
+		if !r.HasAttr(a) {
+			return nil, fmt.Errorf("algres: project: unknown attribute %q", a)
+		}
+	}
+	out := NewRelation(attrs...)
+	ts := r.Tuples()
+	d := colset.NewDict()
+	cols := encodeCols(d, r, ts, attrs)
+	for _, i := range colset.DedupRows(cols, len(ts), nil) {
+		t := ts[i]
+		fields := make([]value.Field, len(attrs))
+		for c, a := range attrs {
+			v, _ := t.Get(a)
+			fields[c] = value.Field{Label: a, Value: v}
+		}
+		out.Insert(value.NewTuple(fields...))
+	}
+	return out, nil
+}
+
+// UnionVec is the vectorized Union: the right side's novel rows are
+// found by a full-width code diff, so only genuinely new tuples pay a
+// map insert.
+func UnionVec(r, s *Relation) (*Relation, error) {
+	if err := sameSchema(r, s); err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	rts, sts := r.Tuples(), s.Tuples()
+	d := colset.NewDict()
+	rcols := encodeCols(d, r, rts, r.attrs)
+	scols := encodeCols(d, s, sts, s.attrs)
+	for _, i := range colset.DiffRows(scols, len(sts), nil, rcols, len(rts), nil) {
+		out.Insert(sts[i])
+	}
+	return out, nil
+}
+
+// DiffVec is the vectorized Diff: r − s by full-width code anti-join.
+func DiffVec(r, s *Relation) (*Relation, error) {
+	if err := sameSchema(r, s); err != nil {
+		return nil, err
+	}
+	out := NewRelation(r.attrs...)
+	rts, sts := r.Tuples(), s.Tuples()
+	d := colset.NewDict()
+	rcols := encodeCols(d, r, rts, r.attrs)
+	scols := encodeCols(d, s, sts, s.attrs)
+	for _, i := range colset.DiffRows(rcols, len(rts), nil, scols, len(sts), nil) {
+		out.Insert(rts[i])
+	}
+	return out, nil
+}
+
+// join/antiJoin are the Opts-level dispatchers the compiled-rule
+// pipeline and the closure operators route through.
+func (o Opts) join(l, r *Relation) *Relation {
+	if o.Vectorize {
+		return JoinVec(l, r)
+	}
+	return JoinWorkers(l, r, o.JoinWorkers)
+}
+
+func (o Opts) antiJoin(l, r *Relation) *Relation {
+	if o.Vectorize {
+		return AntiJoinVec(l, r)
+	}
+	return AntiJoinWorkers(l, r, o.JoinWorkers)
+}

@@ -1,0 +1,118 @@
+package algres
+
+import (
+	"fmt"
+	"testing"
+
+	"logres/internal/value"
+)
+
+// Differential tests: every vectorized operator must produce a relation
+// Equal to its row counterpart (same tuples, same canonical order is
+// implied by Relation's keyed storage), on relations mixing value
+// kinds, nulls, duplicates-on-key, and empty inputs.
+
+func vecTestRelations() (*Relation, *Relation) {
+	l := NewRelation("a", "b", "c")
+	for i := 0; i < 25; i++ {
+		var b value.Value = value.Int(int64(i % 4))
+		if i%7 == 0 {
+			b = value.Null{}
+		}
+		l.InsertValues(value.Int(int64(i)), b, value.Str(fmt.Sprintf("s%d", i%3)))
+	}
+	r := NewRelation("b", "d")
+	for i := 0; i < 13; i++ {
+		var b value.Value = value.Int(int64(i % 5))
+		if i%6 == 0 {
+			b = value.Null{}
+		}
+		r.InsertValues(b, value.Str(fmt.Sprintf("d%d", i)))
+	}
+	return l, r
+}
+
+func TestVecOperatorsMatchRowOperators(t *testing.T) {
+	l, r := vecTestRelations()
+	empty := NewRelation("b", "d")
+
+	if got, want := JoinVec(l, r), Join(l, r); !got.Equal(want) {
+		t.Fatalf("JoinVec = %d tuples, Join = %d", got.Len(), want.Len())
+	}
+	if got, want := JoinVec(l, empty), Join(l, empty); !got.Equal(want) {
+		t.Fatal("JoinVec on empty right diverged")
+	}
+	if got, want := AntiJoinVec(l, r), AntiJoin(l, r); !got.Equal(want) {
+		t.Fatalf("AntiJoinVec = %d tuples, AntiJoin = %d", got.Len(), want.Len())
+	}
+	if got, want := AntiJoinVec(l, empty), AntiJoin(l, empty); !got.Equal(want) {
+		t.Fatal("AntiJoinVec on empty right diverged")
+	}
+	for _, v := range []value.Value{value.Int(2), value.Null{}, value.Str("missing")} {
+		got, want := SelectEqConstVec(l, "b", v), SelectEqConst(l, "b", v)
+		if !got.Equal(want) {
+			t.Fatalf("SelectEqConstVec(b, %v) = %d tuples, row = %d", v, got.Len(), want.Len())
+		}
+	}
+	if got, want := SelectEqAttrVec(l, "a", "b"), SelectEqAttr(l, "a", "b"); !got.Equal(want) {
+		t.Fatal("SelectEqAttrVec diverged")
+	}
+	gotP, err1 := ProjectVec(l, "b", "c")
+	wantP, err2 := Project(l, "b", "c")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !gotP.Equal(wantP) {
+		t.Fatalf("ProjectVec = %d tuples, Project = %d", gotP.Len(), wantP.Len())
+	}
+	if _, err := ProjectVec(l, "nope"); err == nil {
+		t.Fatal("ProjectVec accepted an unknown attribute")
+	}
+
+	// Union/Diff need same-schema relations.
+	s := NewRelation("a", "b", "c")
+	for i := 20; i < 35; i++ {
+		s.InsertValues(value.Int(int64(i)), value.Int(int64(i%4)), value.Str("s0"))
+	}
+	gotU, err1 := UnionVec(l, s)
+	wantU, err2 := Union(l, s)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !gotU.Equal(wantU) {
+		t.Fatalf("UnionVec = %d tuples, Union = %d", gotU.Len(), wantU.Len())
+	}
+	gotD, err1 := DiffVec(l, s)
+	wantD, err2 := Diff(l, s)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !gotD.Equal(wantD) {
+		t.Fatalf("DiffVec = %d tuples, Diff = %d", gotD.Len(), wantD.Len())
+	}
+	if _, err := UnionVec(l, r); err == nil {
+		t.Fatal("UnionVec accepted mismatched schemas")
+	}
+}
+
+// The compiled-rule pipeline and the closure operator must produce
+// identical results with Vectorize on and off.
+func TestVectorizedClosureMatchesRow(t *testing.T) {
+	edges := NewRelation("from", "to")
+	for i := 0; i < 30; i++ {
+		edges.InsertValues(value.Int(int64(i)), value.Int(int64(i+1)))
+	}
+	edges.InsertValues(value.Int(30), value.Int(0)) // a cycle for good measure
+
+	row, err := TransitiveClosureOpts(edges, "from", "to", Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := TransitiveClosureOpts(edges, "from", "to", Opts{Vectorize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(row) {
+		t.Fatalf("vectorized closure = %d tuples, row = %d", vec.Len(), row.Len())
+	}
+}

@@ -251,6 +251,9 @@ func (a *AlgebraOps) JoinWorkers(workers int) int {
 	return algres.JoinWorkers(a.L, a.R, workers).Len()
 }
 
+// JoinVec runs the vectorized columnar join and returns its cardinality.
+func (a *AlgebraOps) JoinVec() int { return algres.JoinVec(a.L, a.R).Len() }
+
 // NestUnnest nests then unnests and returns the restored cardinality.
 func (a *AlgebraOps) NestUnnest() (int, error) {
 	n, err := algres.Nest(a.L, []string{"a"}, "g")

@@ -55,6 +55,15 @@ type Options struct {
 	// nil (the default) disables tracing; every emission site is behind a
 	// nil check, so the untraced hot path pays nothing.
 	Tracer obs.Tracer
+	// Vectorize evaluates eligible semi-naive strata over columnar
+	// batches (internal/colset): frozen snapshots are dictionary-encoded
+	// into per-predicate column batches and rule bodies run as vectorized
+	// select/join/anti-join kernels, decoding back to facts only at the
+	// emit boundary. Strata using oid invention, deletion, class heads,
+	// tuple variables, or active-domain negation stay on the row engine,
+	// which remains the semantics oracle; results are bit-identical
+	// either way.
+	Vectorize bool
 }
 
 // DefaultOptions returns the standard evaluation options.
@@ -120,6 +129,14 @@ func (p *Program) Shards() int { return p.opts.Shards }
 // after compilation. Benchmarks and the REPL's `.trace` toggle use it
 // to compare traced and untraced runs of one compiled program.
 func (p *Program) SetTracer(t obs.Tracer) { p.opts.Tracer = t }
+
+// SetVectorize toggles columnar evaluation of eligible semi-naive
+// strata after compilation. Benchmarks and differential tests use it to
+// compare the row and vectorized paths of one compiled program.
+func (p *Program) SetVectorize(on bool) { p.opts.Vectorize = on }
+
+// Vectorize reports whether columnar evaluation is enabled.
+func (p *Program) Vectorize() bool { return p.opts.Vectorize }
 
 // Compile analyses a rule set against a schema: it resolves predicates and
 // labels, orders rule bodies, checks the safety requirements of §3.1 and

@@ -789,8 +789,17 @@ func (p *Program) runGuarded(f0 *FactSet, counter *int64) (*FactSet, error) {
 		var err error
 		if p.opts.SemiNaive && stratumSemiNaiveEligible(stratum) {
 			p.stats.SemiNaiveStrata++
-			p.traceStratumBegin(i, stratum, "semi-naive")
-			f, err = p.semiNaive(stratum, f, counter)
+			if vs, ok := p.vecPlan(stratum); ok {
+				// Columnar path: same round structure, same results;
+				// worker/shard counts do not apply (the kernels are
+				// batch-at-a-time), so determinism is trivial here.
+				p.stats.VectorizedStrata++
+				p.traceStratumBegin(i, stratum, "semi-naive (vectorized)")
+				f, err = p.semiNaiveVectorized(vs, f, counter)
+			} else {
+				p.traceStratumBegin(i, stratum, "semi-naive")
+				f, err = p.semiNaive(stratum, f, counter)
+			}
 		} else {
 			p.traceStratumBegin(i, stratum, "one-step inflationary")
 			f, err = p.fixpoint(stratum, f, counter)

@@ -149,11 +149,27 @@ func (c *evalCtx) runSNTask(t snTask, out *FactSet) error {
 	return nil
 }
 
-// runSNTasks runs the tasks on the worker pool and merges the private
-// deltas (and per-task stats) in task order; the merge fans one goroutine
-// per FactSet shard (Options.Shards) and stays bit-identical to the serial
-// task-order merge.
-func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, counter *int64) (*FactSet, error) {
+// snParallelCutoff is the live probe size (round 0: the current
+// extension; delta rounds: the delta — the same per-round signal
+// Stats.DeltaCurve records) below which a parallel round skips worker
+// fan-out and runs its passes inline: partitioning and merging a
+// near-empty round costs more than the matching itself. The convergence
+// tail of a deep recursion (many rounds of tiny deltas) is the common
+// case. A variable so tests can move it.
+var snParallelCutoff = 256
+
+// runSNTasks runs one round's tasks and merges the private deltas (and
+// per-task stats) in task order; the merge fans one goroutine per
+// FactSet shard (Options.Shards) and stays bit-identical to the serial
+// task-order merge. Rounds whose probe size is under snParallelCutoff
+// run the same task list inline on this goroutine instead (identical
+// results: same tasks, same order, same dedup) and record no
+// parallel.dispatch event.
+func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, counter *int64, probe int) (*FactSet, error) {
+	if probe < snParallelCutoff {
+		return p.runSNTasksInline(round, tasks, cur, delta, counter)
+	}
+	p.traceParallelDispatch(round, len(tasks), probe)
 	workers := p.opts.Workers
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -217,6 +233,23 @@ func (p *Program) runSNTasks(round int, tasks []snTask, cur, delta *FactSet, cou
 	return merged, nil
 }
 
+// runSNTasksInline is the small-round fast path: the round's tasks run
+// sequentially on the calling goroutine, emitting straight into one
+// delta set in task order — the same fact set the worker-pool path
+// produces by ordered merge, without goroutines, private deltas, or
+// per-task stats.
+func (p *Program) runSNTasksInline(round int, tasks []snTask, cur, delta *FactSet, counter *int64) (*FactSet, error) {
+	out := NewFactSetShards(p.opts.Shards)
+	c := &evalCtx{p: p, f: cur, counter: counter, deltaIdx: -1, delta: delta,
+		stats: p.stats, g: p.armedGuard(), round: round, orchestrator: true}
+	for _, t := range tasks {
+		if err := p.runShielded(t.rule, func() error { return c.runSNTask(t, out) }); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // semiNaiveParallel is the worker-pool delta iteration; results are
 // identical to semiNaiveSerial.
 func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64) (*FactSet, error) {
@@ -231,7 +264,7 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 	p.traceRoundBegin(0)
 	start := time.Now()
 	tasks := round0Tasks(stratum, cur, workers)
-	delta, err := p.runSNTasks(0, tasks, cur, nil, counter)
+	delta, err := p.runSNTasks(0, tasks, cur, nil, counter, cur.TotalSize())
 	if err != nil {
 		cur.Thaw()
 		return nil, err
@@ -254,7 +287,7 @@ func (p *Program) semiNaiveParallel(stratum []*crule, f *FactSet, counter *int64
 		cur.FreezeParallel(workers)
 		delta.FreezeParallel(workers)
 		tasks := deltaTasks(stratum, cur, delta, workers)
-		next, err := p.runSNTasks(round+1, tasks, cur, delta, counter)
+		next, err := p.runSNTasks(round+1, tasks, cur, delta, counter, delta.TotalSize())
 		if err != nil {
 			cur.Thaw()
 			return nil, err

@@ -19,6 +19,9 @@ type Stats struct {
 	Strata int
 	// SemiNaiveStrata counts strata that ran under delta iteration.
 	SemiNaiveStrata int
+	// VectorizedStrata counts semi-naive strata that ran on the columnar
+	// engine (a subset of SemiNaiveStrata).
+	VectorizedStrata int
 	// Firings maps rule ids to the number of head instantiations
 	// (valuations that reached the head, including suppressed ones).
 	Firings map[int]int
@@ -129,6 +132,9 @@ func (p *Program) Explain() string {
 		mode := "one-step inflationary"
 		if p.opts.SemiNaive && stratumSemiNaiveEligible(stratum) {
 			mode = "semi-naive"
+			if p.opts.Vectorize && stratumVectorizable(stratum) {
+				mode = "semi-naive (vectorized)"
+			}
 		}
 		if p.opts.NonInflationary {
 			mode = "non-inflationary"

@@ -240,6 +240,23 @@ func (c *evalCtx) traceInvent(r *crule, pred string, oid int64) {
 
 // traceMerge reports one parallel sharded delta merge (a
 // nondeterministic-kind event: serial configurations never emit it).
+// traceParallelDispatch reports one round actually fanning out to the
+// worker pool (rounds under snParallelCutoff run inline and emit
+// nothing). Nondeterministic kind: present only on parallel
+// configurations.
+func (p *Program) traceParallelDispatch(round, tasks, probe int) {
+	if !p.tracing() {
+		return
+	}
+	p.emit(obs.Event{
+		Kind:    obs.KindParallelDispatch,
+		Stratum: p.curStratum(),
+		Round:   round,
+		Count:   tasks,
+		Total:   probe,
+	})
+}
+
 func (p *Program) traceMerge(round int, ms MergeStats) {
 	if !p.tracing() || len(ms.ShardDurations) == 0 {
 		return

@@ -1,0 +1,661 @@
+package engine
+
+// Vectorized semi-naive evaluation: eligible strata run over columnar
+// batches (internal/colset) instead of per-fact env matching. The plan
+// compiler turns each rule body into a sequence of steps executed at
+// their body-order positions — constant/duplicate selections, hash
+// joins on dictionary codes, anti-joins for negation, comparison
+// filters — and decodes codes back into facts only at the emit
+// boundary. The row engine remains the semantics oracle: a stratum is
+// vectorized only when every construct it uses has an exact columnar
+// counterpart (association atoms and heads with variable/constant
+// arguments, bound negation, bound comparisons), and everything else
+// falls back to the row paths. Results, Stats.Firings, and the
+// deterministic trace stream are identical to the serial row engine.
+
+import (
+	"fmt"
+	"sort"
+
+	"logres/internal/ast"
+	"logres/internal/colset"
+	"logres/internal/guard"
+	"logres/internal/obs"
+	"logres/internal/types"
+	"logres/internal/value"
+)
+
+// vecPred is one tracked predicate: its effective-tuple labels, its
+// columnar batch (base extension + per-round delta appends, in
+// canonical order), and — for head predicates — the membership set of
+// packed code rows used for the emit-boundary duplicate filter.
+type vecPred struct {
+	pred   string
+	labels []string
+	batch  *colset.Batch
+	member *colset.CodeSet // nil unless the pred is a head in this stratum
+}
+
+type vecStepKind int
+
+const (
+	stepAtom vecStepKind = iota
+	stepAnti
+	stepFilter
+)
+
+// vecStep is one body literal compiled to a columnar operation. Steps
+// are 1:1 with body literals and run at their body-order positions, so
+// the valuation multiset reaching each step equals the row engine's.
+type vecStep struct {
+	kind vecStepKind
+
+	// stepAtom / stepAnti
+	vp         *vecPred
+	constCols  []int // atom label indices filtered to a constant
+	constVals  []value.Value
+	constCodes []uint32
+	dupA, dupB []int // intra-atom duplicate-variable label pairs
+	keyAccCols []int // join keys: accumulated valuation columns …
+	keyAtom    []int // … against these atom label indices
+	newAtom    []int // atom label indices binding new variables …
+	newAccCols []int // … into these valuation columns
+
+	// stepFilter
+	op             string
+	neg            bool
+	lCol, rCol     int // valuation column, or -1 for a constant
+	lConst, rConst value.Value
+	lCode, rCode   uint32
+	cmpCache       map[uint64]cmpResult // order-op memo, keyed by code pair
+}
+
+type cmpResult struct {
+	holds bool
+	err   error
+}
+
+// vecRule is one compiled rule: its steps, the positions eligible for
+// delta substitution, and the head layout (per effective label either a
+// valuation column or a constant).
+type vecRule struct {
+	r        *crule
+	steps    []vecStep
+	posSteps []int // step indices of positive atoms, in body order
+	nvars    int
+
+	headPred   *vecPred
+	headCols   []int // per label: valuation column, or -1
+	headConsts []value.Value
+	headCodes  []uint32
+}
+
+type kernelStat struct{ calls, rows int }
+
+// vecStratum is the compiled plan plus per-evaluation state (dictionary,
+// batches, kernel counters) for one stratum.
+type vecStratum struct {
+	p     *Program
+	preds map[string]*vecPred
+	order []*vecPred // first-mention order, for deterministic binding
+	rules []*vecRule
+
+	dict    *colset.Dict
+	g       *guard.Guard
+	emitted int
+	kernels map[string]*kernelStat
+}
+
+// stratumVectorizable reports whether every rule of the stratum
+// compiles to a columnar plan (used by Explain; the dispatch path
+// compiles the plan once and keeps it).
+func stratumVectorizable(stratum []*crule) bool {
+	_, ok := compileVecStratum(stratum)
+	return ok
+}
+
+// vecPlan compiles the stratum's columnar plan when vectorization is
+// enabled and every rule is expressible.
+func (p *Program) vecPlan(stratum []*crule) (*vecStratum, bool) {
+	if !p.opts.Vectorize {
+		return nil, false
+	}
+	return compileVecStratum(stratum)
+}
+
+func compileVecStratum(stratum []*crule) (*vecStratum, bool) {
+	vs := &vecStratum{preds: map[string]*vecPred{}}
+	for _, r := range stratum {
+		vr, ok := vs.compileVecRule(r)
+		if !ok {
+			return nil, false
+		}
+		vs.rules = append(vs.rules, vr)
+	}
+	return vs, true
+}
+
+func (vs *vecStratum) trackPred(pred string, eff types.Tuple) *vecPred {
+	if vp, ok := vs.preds[pred]; ok {
+		return vp
+	}
+	labels := make([]string, len(eff.Fields))
+	for i, f := range eff.Fields {
+		labels[i] = f.Label
+	}
+	vp := &vecPred{pred: pred, labels: labels}
+	vs.preds[pred] = vp
+	vs.order = append(vs.order, vp)
+	return vp
+}
+
+func (vs *vecStratum) compileVecRule(r *crule) (*vecRule, bool) {
+	h := r.head
+	if h == nil || h.kind != hAssoc || h.negated || h.tupleVar != "" ||
+		h.copyFrom != "" || h.selfTerm != nil {
+		return nil, false
+	}
+	vr := &vecRule{r: r}
+	varCols := map[string]int{}
+	ncols := 0
+	for _, l := range r.body {
+		switch l.kind {
+		case pkAssoc:
+			if len(l.tupleVars) > 0 || l.selfTerm != nil {
+				return nil, false
+			}
+			if l.negated && len(l.adVars) > 0 {
+				return nil, false
+			}
+			st := vecStep{kind: stepAtom, vp: vs.trackPred(l.pred, l.eff)}
+			if l.negated {
+				st.kind = stepAnti
+			}
+			labelIdx := map[string]int{}
+			for i, lab := range st.vp.labels {
+				labelIdx[lab] = i
+			}
+			atomVar := map[string]int{} // var → first atom label index
+			for _, comp := range l.comps {
+				li, ok := labelIdx[comp.label]
+				if !ok {
+					return nil, false
+				}
+				switch t := comp.term.(type) {
+				case ast.Wildcard:
+				case ast.Const:
+					st.constCols = append(st.constCols, li)
+					st.constVals = append(st.constVals, t.Val)
+				case ast.Var:
+					if first, dup := atomVar[t.Name]; dup {
+						st.dupA = append(st.dupA, first)
+						st.dupB = append(st.dupB, li)
+						continue
+					}
+					atomVar[t.Name] = li
+					if ac, bound := varCols[t.Name]; bound {
+						st.keyAccCols = append(st.keyAccCols, ac)
+						st.keyAtom = append(st.keyAtom, li)
+					} else {
+						if l.negated {
+							// Unbound variables in negation range over the
+							// active domain; the row engine keeps those.
+							return nil, false
+						}
+						st.newAtom = append(st.newAtom, li)
+						st.newAccCols = append(st.newAccCols, ncols)
+						varCols[t.Name] = ncols
+						ncols++
+					}
+				default:
+					return nil, false
+				}
+			}
+			if !l.negated {
+				vr.posSteps = append(vr.posSteps, len(vr.steps))
+			}
+			vr.steps = append(vr.steps, st)
+		case pkCompare:
+			st := vecStep{kind: stepFilter, op: l.pred, neg: l.negated, lCol: -1, rCol: -1}
+			bindArg := func(t ast.Term, col *int, cv *value.Value) bool {
+				switch x := t.(type) {
+				case ast.Var:
+					c, bound := varCols[x.Name]
+					if !bound {
+						// An unbound side of "=" binds through unification;
+						// keep that on the row engine.
+						return false
+					}
+					*col = c
+					return true
+				case ast.Const:
+					*cv = x.Val
+					return true
+				}
+				return false
+			}
+			if !bindArg(l.args[0], &st.lCol, &st.lConst) || !bindArg(l.args[1], &st.rCol, &st.rConst) {
+				return nil, false
+			}
+			vr.steps = append(vr.steps, st)
+		default:
+			return nil, false
+		}
+	}
+	hp := vs.trackPred(h.pred, h.eff)
+	vr.headPred = hp
+	vr.headCols = make([]int, len(hp.labels))
+	vr.headConsts = make([]value.Value, len(hp.labels))
+	for li := range vr.headCols {
+		vr.headCols[li] = -1
+		vr.headConsts[li] = value.Null{}
+	}
+	for _, comp := range h.comps {
+		li := -1
+		for i, lab := range hp.labels {
+			if lab == comp.label {
+				li = i
+				break
+			}
+		}
+		if li < 0 {
+			return nil, false
+		}
+		switch t := comp.term.(type) {
+		case ast.Var:
+			c, bound := varCols[t.Name]
+			if !bound {
+				return nil, false
+			}
+			vr.headCols[li] = c
+		case ast.Const:
+			vr.headConsts[li] = t.Val
+		default:
+			return nil, false
+		}
+	}
+	vr.nvars = ncols
+	return vr, true
+}
+
+// bind builds the per-evaluation state: the shared dictionary, one
+// batch per tracked predicate from the frozen snapshot (canonical
+// key-sorted order), membership sets for head predicates, and interned
+// constant codes. cur must be frozen.
+func (vs *vecStratum) bind(p *Program, cur *FactSet) {
+	vs.p = p
+	vs.g = p.armedGuard()
+	vs.dict = colset.NewDict()
+	vs.kernels = map[string]*kernelStat{}
+	headPreds := map[string]bool{}
+	for _, vr := range vs.rules {
+		headPreds[vr.headPred.pred] = true
+	}
+	for _, vp := range vs.order {
+		vp.batch = colset.NewBatch(len(vp.labels))
+		if headPreds[vp.pred] {
+			vp.member = colset.NewCodeSet(len(vp.labels))
+		}
+		vs.appendFacts(vp, cur.Facts(vp.pred))
+	}
+	for _, vr := range vs.rules {
+		for si := range vr.steps {
+			st := &vr.steps[si]
+			switch st.kind {
+			case stepAtom, stepAnti:
+				st.constCodes = make([]uint32, len(st.constVals))
+				for k, v := range st.constVals {
+					st.constCodes[k] = vs.dict.Code(v)
+				}
+			case stepFilter:
+				if st.lCol < 0 {
+					st.lCode = vs.dict.Code(st.lConst)
+				}
+				if st.rCol < 0 {
+					st.rCode = vs.dict.Code(st.rConst)
+				}
+				st.cmpCache = nil
+			}
+		}
+		vr.headCodes = make([]uint32, len(vr.headConsts))
+		for li, v := range vr.headConsts {
+			if vr.headCols[li] < 0 {
+				vr.headCodes[li] = vs.dict.Code(v)
+			}
+		}
+	}
+}
+
+// appendFacts encodes facts onto vp's batch. Only canonical facts —
+// association tuples with exactly the effective labels in declaration
+// order, the shape every derived fact has — enter the membership set:
+// a non-canonical base fact never Key-equals a derived fact, so the
+// row engine's Has filter would not suppress the derivation either.
+func (vs *vecStratum) appendFacts(vp *vecPred, facts []Fact) {
+	row := make([]uint32, len(vp.labels))
+	for _, fact := range facts {
+		canonical := vp.member != nil && !fact.IsClass && fact.Tuple.Len() == len(vp.labels)
+		for li, lab := range vp.labels {
+			v, ok := fact.Tuple.Get(lab)
+			if !ok {
+				v = value.Null{}
+			}
+			row[li] = vs.dict.Code(v)
+			if canonical && fact.Tuple.Field(li).Label != lab {
+				canonical = false
+			}
+		}
+		vp.batch.AppendRow(row)
+		if canonical {
+			vp.member.Add(row)
+		}
+	}
+}
+
+// appendDelta appends the round's merged delta onto each tracked batch
+// and returns per-predicate views of just the appended rows, used as
+// the delta side of the round's passes.
+func (vs *vecStratum) appendDelta(delta *FactSet) map[string]*colset.Batch {
+	out := map[string]*colset.Batch{}
+	for _, vp := range vs.order {
+		if delta.Size(vp.pred) == 0 {
+			continue
+		}
+		start := vp.batch.Len()
+		vs.appendFacts(vp, delta.Facts(vp.pred))
+		out[vp.pred] = vp.batch.Slice(start, vp.batch.Len())
+	}
+	return out
+}
+
+func (vs *vecStratum) record(kernel string, rows int) {
+	ks := vs.kernels[kernel]
+	if ks == nil {
+		ks = &kernelStat{}
+		vs.kernels[kernel] = ks
+	}
+	ks.calls++
+	ks.rows += rows
+}
+
+// atomSel applies the constant and duplicate-variable filters of an
+// atom step; nil means every row.
+func (vs *vecStratum) atomSel(st *vecStep, src *colset.Batch) []int32 {
+	var sel []int32
+	rows := src.Len()
+	for k, li := range st.constCols {
+		sel = colset.SelectEq(src.Col(li), rows, sel, st.constCodes[k])
+		vs.record("select", len(sel))
+	}
+	for k := range st.dupA {
+		sel = colset.SelectColEq(src.Col(st.dupA[k]), src.Col(st.dupB[k]), rows, sel)
+		vs.record("select", len(sel))
+	}
+	return sel
+}
+
+// runPass evaluates one rule pass: the full pass (deltaStep < 0) or one
+// delta-substituted pass. New facts land in out; cur is the merged
+// current set (for guard reporting only — duplicate suppression runs on
+// the membership sets).
+func (vs *vecStratum) runPass(vr *vecRule, deltaStep int, dbatch *colset.Batch, round int, out, cur *FactSet) error {
+	cols := make([][]uint32, vr.nvars)
+	n := 1 // the unit valuation: one row, no columns
+	for si := range vr.steps {
+		st := &vr.steps[si]
+		switch st.kind {
+		case stepAtom:
+			src := st.vp.batch
+			if si == deltaStep {
+				src = dbatch
+			}
+			sel := vs.atomSel(st, src)
+			lkeys := make([][]uint32, len(st.keyAccCols))
+			for k, ac := range st.keyAccCols {
+				lkeys[k] = cols[ac]
+			}
+			rkeys := make([][]uint32, len(st.keyAtom))
+			for k, li := range st.keyAtom {
+				rkeys[k] = src.Col(li)
+			}
+			lidx, ridx := colset.Join(lkeys, n, nil, rkeys, src.Len(), sel)
+			vs.record("join", len(lidx))
+			for ci, col := range cols {
+				if col != nil {
+					cols[ci] = colset.Gather(col, lidx)
+				}
+			}
+			for k, li := range st.newAtom {
+				cols[st.newAccCols[k]] = colset.Gather(src.Col(li), ridx)
+			}
+			n = len(lidx)
+		case stepAnti:
+			src := st.vp.batch
+			sel := vs.atomSel(st, src)
+			lkeys := make([][]uint32, len(st.keyAccCols))
+			for k, ac := range st.keyAccCols {
+				lkeys[k] = cols[ac]
+			}
+			rkeys := make([][]uint32, len(st.keyAtom))
+			for k, li := range st.keyAtom {
+				rkeys[k] = src.Col(li)
+			}
+			keep := colset.AntiJoin(lkeys, n, nil, rkeys, src.Len(), sel)
+			vs.record("antijoin", len(keep))
+			for ci, col := range cols {
+				if col != nil {
+					cols[ci] = colset.Gather(col, keep)
+				}
+			}
+			n = len(keep)
+		case stepFilter:
+			keep, err := vs.runFilter(st, cols, n)
+			if err != nil {
+				return err
+			}
+			vs.record("filter", len(keep))
+			for ci, col := range cols {
+				if col != nil {
+					cols[ci] = colset.Gather(col, keep)
+				}
+			}
+			n = len(keep)
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+	return vs.emit(vr, cols, n, round, out, cur)
+}
+
+// runFilter evaluates a comparison step over the accumulated valuation
+// rows. Equality is code equality; ordering comparisons decode through
+// the dictionary and reuse compareValues, so type errors surface
+// exactly as on the row engine. Results are memoized per code pair.
+func (vs *vecStratum) runFilter(st *vecStep, cols [][]uint32, n int) ([]int32, error) {
+	code := func(col int, c uint32, i int) uint32 {
+		if col >= 0 {
+			return cols[col][i]
+		}
+		return c
+	}
+	keep := make([]int32, 0, n)
+	if st.op == "=" || st.op == "!=" {
+		want := st.op == "="
+		if st.neg {
+			want = !want
+		}
+		for i := 0; i < n; i++ {
+			eq := code(st.lCol, st.lCode, i) == code(st.rCol, st.rCode, i)
+			if eq == want {
+				keep = append(keep, int32(i))
+			}
+		}
+		return keep, nil
+	}
+	if st.cmpCache == nil {
+		st.cmpCache = map[uint64]cmpResult{}
+	}
+	for i := 0; i < n; i++ {
+		lc := code(st.lCol, st.lCode, i)
+		rc := code(st.rCol, st.rCode, i)
+		k := uint64(lc)<<32 | uint64(rc)
+		res, ok := st.cmpCache[k]
+		if !ok {
+			holds, err := compareValues(st.op, vs.dict.Value(lc), vs.dict.Value(rc))
+			res = cmpResult{holds: holds, err: err}
+			st.cmpCache[k] = res
+		}
+		if res.err != nil {
+			return nil, res.err
+		}
+		holds := res.holds
+		if st.neg {
+			holds = !holds
+		}
+		if holds {
+			keep = append(keep, int32(i))
+		}
+	}
+	return keep, nil
+}
+
+// emit decodes the surviving valuations into head facts. Firings count
+// every valuation (exactly like instantiateHead); the membership set
+// suppresses facts already present in the merged current set or already
+// derived this stratum — the same facts the row engine's Has filter
+// suppresses — before any tuple is materialized.
+func (vs *vecStratum) emit(vr *vecRule, cols [][]uint32, n, round int, out, cur *FactSet) error {
+	if vs.p.stats != nil {
+		vs.p.stats.Firings[vr.r.id] += n
+	}
+	hp := vr.headPred
+	row := make([]uint32, len(hp.labels))
+	fields := make([]value.Field, len(hp.labels))
+	added := 0
+	for i := 0; i < n; i++ {
+		vs.emitted++
+		if vs.g != nil && vs.emitted%inRoundCheckInterval == 0 {
+			if err := vs.guardCheck(round, cur, hp.pred); err != nil {
+				return err
+			}
+		}
+		for li := range hp.labels {
+			if c := vr.headCols[li]; c >= 0 {
+				row[li] = cols[c][i]
+			} else {
+				row[li] = vr.headCodes[li]
+			}
+		}
+		if !hp.member.Add(row) {
+			continue
+		}
+		for li, lab := range hp.labels {
+			fields[li] = value.Field{Label: lab, Value: vs.dict.Value(row[li])}
+		}
+		out.Add(Fact{Pred: hp.pred, Tuple: value.NewTuple(fields...)})
+		added++
+	}
+	vs.record("emit", added)
+	return nil
+}
+
+// guardCheck mirrors evalCtx.inRoundCheck for the vectorized emit loop.
+func (vs *vecStratum) guardCheck(round int, cur *FactSet, pred string) error {
+	invented := 0
+	if st := vs.p.stats; st != nil {
+		invented = st.Invented
+	}
+	err := vs.g.Check(round, func() int { return cur.TotalSize() + vs.emitted }, invented)
+	if err != nil && vs.p.opts.Tracer != nil {
+		vs.p.emit(obs.Event{
+			Kind:    obs.KindGuardCheck,
+			Stratum: vs.g.Stratum(),
+			Round:   round,
+			Pred:    pred,
+			Detail:  err.Error(),
+		})
+	}
+	return err
+}
+
+// traceVecKernels reports the stratum's kernel counters as
+// deterministic vec.kernel events, in kernel-name order.
+func (vs *vecStratum) traceVecKernels(stratum int) {
+	p := vs.p
+	if !p.tracing() {
+		return
+	}
+	names := make([]string, 0, len(vs.kernels))
+	for name := range vs.kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ks := vs.kernels[name]
+		p.emit(obs.Event{
+			Kind:    obs.KindVecKernel,
+			Stratum: stratum,
+			Pred:    name,
+			Count:   ks.calls,
+			Total:   ks.rows,
+			Detail:  "vectorize",
+		})
+	}
+}
+
+// semiNaiveVectorized is delta iteration over columnar batches. The
+// round structure — full round 0, then one delta-substituted pass per
+// positive atom position with a non-empty delta — and every trace/stat
+// boundary mirror semiNaiveSerial exactly.
+func (p *Program) semiNaiveVectorized(vs *vecStratum, f *FactSet, counter *int64) (*FactSet, error) {
+	cur := f.Clone()
+	// The freeze builds every tracked predicate's merged view once, and
+	// the batches are encoded from that canonical snapshot; after that
+	// the batches are maintained incrementally (delta appends), so the
+	// set is thawed again for the per-round merges.
+	cur.Freeze()
+	vs.bind(p, cur)
+	cur.Thaw()
+
+	stratum := p.curStratum()
+	p.traceRoundBegin(0)
+	start := p.traceNow()
+	delta := NewFactSet()
+	for _, vr := range vs.rules {
+		if err := vs.runPass(vr, -1, nil, 0, delta, cur); err != nil {
+			return nil, fmt.Errorf("%w (in rule %s)", err, vr.r)
+		}
+	}
+	p.traceRoundEnd(0, delta.TotalSize(), cur.TotalSize(), start)
+	for round := 0; delta.TotalSize() > 0; round++ {
+		if err := p.checkRound(round, cur, "semi-naive delta iteration"); err != nil {
+			return nil, err
+		}
+		if p.stats != nil {
+			p.stats.Steps++
+		}
+		p.traceRoundBegin(round + 1)
+		start := p.traceNow()
+		cur.Merge(delta)
+		dbatches := vs.appendDelta(delta)
+		vs.emitted = 0
+		next := NewFactSet()
+		for _, vr := range vs.rules {
+			for _, si := range vr.posSteps {
+				st := &vr.steps[si]
+				db := dbatches[st.vp.pred]
+				if db == nil {
+					continue
+				}
+				if err := vs.runPass(vr, si, db, round+1, next, cur); err != nil {
+					return nil, fmt.Errorf("%w (in rule %s)", err, vr.r)
+				}
+			}
+		}
+		p.traceRoundEnd(round+1, next.TotalSize(), cur.TotalSize(), start)
+		delta = next
+	}
+	vs.traceVecKernels(stratum)
+	return cur, nil
+}

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"logres/internal/obs"
+)
+
+// Differential tests of the columnar evaluation path: for every program
+// and EDB, the vectorized engine must produce the same facts, the same
+// Firings, and the same convergence curve as the row engine, across the
+// full workers × shards × vectorize matrix.
+
+const vecSchema = `
+associations
+  EDGE = (src: integer, dst: integer);
+  TC = (src: integer, dst: integer);
+  SAME = (a: integer, b: integer);
+  LOOP = (a: integer);
+  FAR = (src: integer, dst: integer);
+  HUB = (a: integer);
+  PAIR = (a: integer, b: integer);
+`
+
+// vecPrograms exercises every construct the columnar plan compiler
+// accepts — joins, bound negation, constants in atoms and heads,
+// duplicate variables, comparisons, cross products — plus one rule
+// (Y = 7 with Y unbound) the compiler must reject, so its stratum
+// falls back to the row engine inside an otherwise vectorized run.
+var vecPrograms = map[string]string{
+	"closure": closureRules,
+	"negation": closureRules + `
+same(a: X, b: Y) <- edge(src: X, dst: Y), not tc(src: Y, dst: X).
+`,
+	"filters": closureRules + `
+loop(a: X) <- tc(src: X, dst: X).
+far(src: X, dst: Y) <- tc(src: X, dst: Y), X < Y, X != 2.
+hub(a: X) <- edge(src: X, dst: 3).
+hub(a: 99) <- loop(a: _).
+pair(a: X, b: Y) <- hub(a: X), loop(a: Y).
+`,
+	"fallback-mix": closureRules + `
+loop(a: X) <- tc(src: X, dst: X).
+pair(a: X, b: Y) <- loop(a: X), Y = 7.
+`,
+}
+
+func vecEDBs() map[string]*FactSet {
+	return map[string]*FactSet{
+		"chain":  chainEdgeFacts(40),
+		"random": randomEdgeFacts(12, 40, 7),
+		"dense":  randomEdgeFacts(6, 60, 11),
+		"empty":  NewFactSet(),
+	}
+}
+
+// TestVectorizedMatrixDifferential is the satellite matrix: row serial
+// is the oracle; every {workers, shards} ∈ {1,4}² × vectorize {off,on}
+// configuration must agree on the result set, and the vectorized serial
+// run must also reproduce the oracle's Firings and DeltaCurve exactly
+// (same rounds, same per-rule valuation counts).
+func TestVectorizedMatrixDifferential(t *testing.T) {
+	for pname, rules := range vecPrograms {
+		p, err := tryBuild(vecSchema, rules,
+			Options{MaxSteps: 10000, SemiNaive: true, Stratify: true, Workers: 1, Shards: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", pname, err)
+		}
+		for ename, edb := range vecEDBs() {
+			c0 := int64(0)
+			p.SetVectorize(false)
+			p.SetWorkers(1)
+			p.SetShards(1)
+			oracle, err := p.Run(edb.Clone(), &c0)
+			if err != nil {
+				t.Fatalf("%s/%s oracle: %v", pname, ename, err)
+			}
+			oracleStats := *p.LastStats()
+
+			for _, workers := range []int{1, 4} {
+				for _, shards := range []int{1, 4} {
+					for _, vec := range []bool{false, true} {
+						c := int64(0)
+						p.SetWorkers(workers)
+						p.SetShards(shards)
+						p.SetVectorize(vec)
+						got, err := p.Run(edb.Clone(), &c)
+						if err != nil {
+							t.Fatalf("%s/%s w=%d s=%d vec=%v: %v", pname, ename, workers, shards, vec, err)
+						}
+						if !got.Equal(oracle) {
+							t.Fatalf("%s/%s w=%d s=%d vec=%v: diverged from row serial (%d vs %d facts)",
+								pname, ename, workers, shards, vec, got.TotalSize(), oracle.TotalSize())
+						}
+						st := p.LastStats()
+						if vec && workers == 1 && shards == 1 {
+							if fmt.Sprint(st.Firings) != fmt.Sprint(oracleStats.Firings) {
+								t.Fatalf("%s/%s vectorized Firings = %v, row = %v",
+									pname, ename, st.Firings, oracleStats.Firings)
+							}
+							if fmt.Sprint(st.DeltaCurve) != fmt.Sprint(oracleStats.DeltaCurve) {
+								t.Fatalf("%s/%s vectorized DeltaCurve = %v, row = %v",
+									pname, ename, st.DeltaCurve, oracleStats.DeltaCurve)
+							}
+							if st.Steps != oracleStats.Steps {
+								t.Fatalf("%s/%s vectorized Steps = %d, row = %d",
+									pname, ename, st.Steps, oracleStats.Steps)
+							}
+						}
+						if vec && ename == "chain" && st.VectorizedStrata == 0 && pname != "fallback-mix" {
+							t.Fatalf("%s/%s: vectorize on but VectorizedStrata = 0", pname, ename)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The stratum holding the inexpressible rule must fall back to the row
+// engine while the closure stratum stays columnar.
+func TestVectorizedFallbackIsPerStratum(t *testing.T) {
+	p, err := tryBuild(vecSchema, vecPrograms["fallback-mix"],
+		Options{MaxSteps: 10000, SemiNaive: true, Stratify: true, Workers: 1, Shards: 1, Vectorize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := int64(0)
+	if _, err := p.Run(chainEdgeFacts(10), &c); err != nil {
+		t.Fatal(err)
+	}
+	st := p.LastStats()
+	if st.VectorizedStrata == 0 {
+		t.Fatalf("no stratum vectorized: %+v", st)
+	}
+	if st.VectorizedStrata >= st.SemiNaiveStrata {
+		t.Fatalf("every semi-naive stratum vectorized (%d of %d); the Y = 7 stratum should have fallen back",
+			st.VectorizedStrata, st.SemiNaiveStrata)
+	}
+	if !strings.Contains(p.Explain(), "semi-naive (vectorized)") {
+		t.Fatalf("Explain does not show the vectorized mode:\n%s", p.Explain())
+	}
+}
+
+// The vectorized path's deterministic trace stream must be identical
+// run to run, and must contain the vec.kernel counters.
+func TestVectorizedTraceDeterministic(t *testing.T) {
+	stream := func() string {
+		var buf bytes.Buffer
+		p, err := tryBuild(vecSchema, vecPrograms["negation"],
+			Options{MaxSteps: 10000, SemiNaive: true, Stratify: true, Workers: 1, Shards: 1,
+				Vectorize: true, Tracer: obs.NewCanonicalJSONL(&buf)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := int64(0)
+		if _, err := p.Run(chainEdgeFacts(20), &c); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := stream(), stream()
+	if a != b {
+		t.Fatalf("vectorized canonical trace not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, string(obs.KindVecKernel)) {
+		t.Fatalf("trace has no %s events:\n%s", obs.KindVecKernel, a)
+	}
+	for _, kernel := range []string{"join", "emit"} {
+		if !strings.Contains(a, fmt.Sprintf("%q", kernel)) {
+			t.Fatalf("trace has no %s kernel counter:\n%s", kernel, a)
+		}
+	}
+}
+
+// Empty-body fact rules compile to a unit-valuation pass: one firing in
+// round 0, constants decoded straight into the head.
+func TestVectorizedEmptyBodyRule(t *testing.T) {
+	p, err := tryBuild(vecSchema, `
+hub(a: 5).
+loop(a: X) <- hub(a: X).
+`, Options{MaxSteps: 100, SemiNaive: true, Stratify: true, Workers: 1, Shards: 1, Vectorize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := int64(0)
+	f, err := p.Run(NewFactSet(), &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size("hub") != 1 || f.Size("loop") != 1 {
+		t.Fatalf("hub=%d loop=%d, want 1/1", f.Size("hub"), f.Size("loop"))
+	}
+	if p.LastStats().VectorizedStrata == 0 {
+		t.Fatal("fact rules did not take the columnar path")
+	}
+}

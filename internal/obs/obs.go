@@ -92,6 +92,19 @@ const (
 	// KindClosureRound reports one algres closure round: Round,
 	// Count = tuples inserted this round, Total = cumulative insertions.
 	KindClosureRound Kind = "closure.round"
+	// KindVecKernel reports one columnar kernel's aggregate work over a
+	// vectorized stratum, emitted at the stratum boundary in kernel-name
+	// order: Stratum, Pred = kernel name (select/join/antijoin/filter/
+	// emit), Count = invocations, Total = rows produced,
+	// Detail = "vectorize". Deterministic: the columnar path is
+	// batch-at-a-time, so the counters do not depend on workers/shards.
+	KindVecKernel Kind = "vec.kernel"
+	// KindParallelDispatch reports one semi-naive round actually fanning
+	// out to the worker pool (rounds below the size cutoff run inline
+	// and emit nothing): Stratum, Round, Count = tasks, Total = the
+	// probe (delta) size that justified the fan-out. Nondeterministic:
+	// present only on parallel configurations.
+	KindParallelDispatch Kind = "parallel.dispatch"
 )
 
 // Deterministic reports whether events of this kind are part of the
@@ -99,7 +112,8 @@ const (
 // workers × shards configuration (wall-clock fields excluded).
 func (k Kind) Deterministic() bool {
 	switch k {
-	case KindMerge, KindGuardCheck, KindModuleCommit, KindModuleConflict, KindModuleRetry:
+	case KindMerge, KindGuardCheck, KindModuleCommit, KindModuleConflict, KindModuleRetry,
+		KindParallelDispatch:
 		return false
 	}
 	return true

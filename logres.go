@@ -168,6 +168,17 @@ func WithShards(n int) Option {
 	return func(db *Database) { db.opts.Shards = n }
 }
 
+// WithVectorize toggles columnar evaluation: eligible semi-naive strata
+// run over dictionary-encoded column batches with vectorized
+// select/join/anti-join/filter kernels instead of tuple-at-a-time row
+// evaluation. Strata the columnar compiler cannot handle (tuple
+// variables, oid invention, class predicates, …) silently fall back to
+// the row engine per stratum. Results are bit-identical either way —
+// the row engine remains the semantics oracle.
+func WithVectorize(on bool) Option {
+	return func(db *Database) { db.opts.Vectorize = on }
+}
+
 // Database is a LOGRES database: a state (E, R, S) evolved by module
 // applications. All methods are safe for concurrent use: read-only
 // methods (Query, Instance, Count, Save, …) share an RWMutex read lock
