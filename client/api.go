@@ -69,6 +69,43 @@ type DBInfo struct {
 	Modules []string `json:"modules,omitempty"`
 	// Schema renders the current schema in LOGRES syntax.
 	Schema string `json:"schema,omitempty"`
+	// Durability summarizes the database's write-ahead log; nil for an
+	// in-memory database.
+	Durability *DurabilityInfo `json:"durability,omitempty"`
+	// Recovery describes the crash recovery that opened this database;
+	// nil for fresh or in-memory databases.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// DurabilityInfo is the wire form of a durable database's storage
+// status (logres.DurabilityStatus).
+type DurabilityInfo struct {
+	// Fsync is the WAL sync policy ("always", "interval", "off").
+	Fsync string `json:"fsync"`
+	// Epoch is the durable commit epoch (the last WAL-acknowledged
+	// commit), CheckpointEpoch the newest snapshot's epoch — the oldest
+	// epoch AsOf queries can still reach.
+	Epoch           uint64 `json:"epoch"`
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	// WALRecords and WALBytes size the log since the last compaction.
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+}
+
+// RecoveryInfo is the wire form of a recovery report: what opening the
+// database's data directory found and repaired.
+type RecoveryInfo struct {
+	// SnapshotEpoch is the snapshot recovery started from; Epoch the
+	// recovered commit epoch after replaying Replayed WAL records.
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	Epoch         uint64 `json:"epoch"`
+	Replayed      int    `json:"replayed"`
+	// TornTail describes the quarantined-and-truncated WAL suffix, if
+	// the log had one.
+	TornTail string `json:"torn_tail,omitempty"`
+	// BadSnapshots lists snapshot files that failed verification and
+	// were skipped in favor of an older one.
+	BadSnapshots []string `json:"bad_snapshots,omitempty"`
 }
 
 // ListResponse is the body of GET /v1/db.
@@ -123,6 +160,11 @@ type QueryRequest struct {
 	// ChunkSize bounds the rows per streamed QueryChunk (<= 0 selects
 	// the server default).
 	ChunkSize int `json:"chunk_size,omitempty"`
+	// AsOf evaluates the goal against the committed state at a past
+	// commit epoch instead of the current one (durable databases only;
+	// 0 queries the present). Epochs older than the last compaction
+	// checkpoint are gone and rejected.
+	AsOf uint64 `json:"as_of,omitempty"`
 }
 
 // QueryHeader is the first NDJSON line of a query response.
@@ -174,6 +216,7 @@ const (
 	KindCanceled  = "canceled"  // 499: request canceled by the client
 	KindDeadline  = "deadline"  // 504: evaluation deadline exceeded
 	KindPanic     = "panic"     // 500: evaluation panic (state untouched)
+	KindInternal  = "internal"  // 500: server-side storage failure
 	KindDraining  = "draining"  // 503: server is shutting down
 	KindTransport = "transport" // client-side: malformed response
 )

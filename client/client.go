@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -22,6 +23,7 @@ type Client struct {
 	base            string
 	hc              *http.Client
 	conflictRetries int
+	drainingRetries int
 	retryBase       time.Duration
 	retryMax        time.Duration
 }
@@ -44,6 +46,18 @@ func WithHTTPClient(hc *http.Client) Option {
 // default).
 func WithConflictRetries(n int) Option {
 	return func(c *Client) { c.conflictRetries = n }
+}
+
+// WithDrainingRetries makes every request re-submit after a 503 with
+// kind "draining" (the server is shutting down — usually one instance
+// behind a balancer rolling over) up to n more times. The wait between
+// submissions honours the server's Retry-After hint, clamped into the
+// client's backoff schedule so a large hint cannot stall the caller
+// beyond the configured cap. n <= 0 disables draining retries (the
+// default), surfacing the 503 as an *APIError; IsDraining identifies
+// it.
+func WithDrainingRetries(n int) Option {
+	return func(c *Client) { c.drainingRetries = n }
 }
 
 // WithRetryBackoff overrides the client retry backoff schedule (base
@@ -79,6 +93,9 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	Status int
 	Resp   ErrorResponse
+	// RetryAfter is the server's Retry-After hint (zero when absent) —
+	// draining responses carry one.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -89,6 +106,12 @@ func (e *APIError) Error() string {
 // conflict (409 with kind "conflict").
 func (e *APIError) IsConflict() bool {
 	return e.Status == http.StatusConflict && e.Resp.Kind == KindConflict
+}
+
+// IsDraining reports whether the error is the server's shutdown gate
+// (503 with kind "draining").
+func (e *APIError) IsDraining() bool {
+	return e.Status == http.StatusServiceUnavailable && e.Resp.Kind == KindDraining
 }
 
 // Create creates a database named name over schema; opts may be nil.
@@ -143,12 +166,8 @@ func (c *Client) ExecRequest(ctx context.Context, name string, req ExecRequest) 
 		if !ok || !apiErr.IsConflict() || req.Serial || attempt >= c.conflictRetries {
 			return nil, err
 		}
-		timer := time.NewTimer(c.backoff(attempt))
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, ctx.Err()
-		case <-timer.C:
+		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+			return nil, err
 		}
 	}
 }
@@ -273,35 +292,89 @@ func (c *Client) dbURL(name string) string {
 
 // doJSON performs one request with an optional JSON body and decodes a
 // JSON response into out (nil discards the body). Non-2xx responses
-// decode into an *APIError.
+// decode into an *APIError; 503 draining responses are re-submitted
+// per WithDrainingRetries.
 func (c *Client) doJSON(ctx context.Context, method, url string, in, out any) error {
-	resp, err := c.do(ctx, method, url, in)
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.do(ctx, method, url, in)
+		if err != nil {
+			return err
+		}
+		if err := responseError(resp); err != nil {
+			resp.Body.Close()
+			if wait, retry := c.drainingWait(err, attempt); retry {
+				if err := sleepCtx(ctx, wait); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
 		return err
 	}
-	defer resp.Body.Close()
-	if err := responseError(resp); err != nil {
-		return err
-	}
-	if out == nil {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // doStream performs one request and returns the raw body for NDJSON
-// consumption; non-2xx responses are decoded and closed here.
+// consumption; non-2xx responses are decoded and closed here, with
+// draining responses re-submitted per WithDrainingRetries (the retry
+// happens before any stream byte reached the caller, so it is safe for
+// the streaming endpoints too).
 func (c *Client) doStream(ctx context.Context, method, url string, in any) (io.ReadCloser, error) {
-	resp, err := c.do(ctx, method, url, in)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.do(ctx, method, url, in)
+		if err != nil {
+			return nil, err
+		}
+		if err := responseError(resp); err != nil {
+			resp.Body.Close()
+			if wait, retry := c.drainingWait(err, attempt); retry {
+				if err := sleepCtx(ctx, wait); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, err
+		}
+		return resp.Body, nil
 	}
-	if err := responseError(resp); err != nil {
-		resp.Body.Close()
-		return nil, err
+}
+
+// drainingWait decides whether a failed request is re-submitted because
+// the server was draining, and how long to wait first: the server's
+// Retry-After hint when it beats the exponential schedule, clamped at
+// the backoff cap so a large hint cannot stall the caller.
+func (c *Client) drainingWait(err error, attempt int) (time.Duration, bool) {
+	apiErr, ok := err.(*APIError)
+	if !ok || !apiErr.IsDraining() || attempt >= c.drainingRetries {
+		return 0, false
 	}
-	return resp.Body, nil
+	wait := c.backoff(attempt)
+	if apiErr.RetryAfter > wait {
+		wait = apiErr.RetryAfter
+	}
+	if wait > c.retryMax {
+		wait = c.retryMax
+	}
+	return wait, true
+}
+
+// sleepCtx waits for d or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 func (c *Client) do(ctx context.Context, method, url string, in any) (*http.Response, error) {
@@ -328,6 +401,13 @@ func responseError(resp *http.Response) error {
 		return nil
 	}
 	apiErr := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		// Only the delay-seconds form is produced by logres-server; the
+		// HTTP-date form is ignored.
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err := json.Unmarshal(data, &apiErr.Resp); err != nil || apiErr.Resp.Error == "" {
 		apiErr.Resp = ErrorResponse{Error: strings.TrimSpace(string(data)), Kind: KindTransport}

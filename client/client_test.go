@@ -158,3 +158,105 @@ func TestResponseErrorNonJSON(t *testing.T) {
 		t.Fatalf("message = %q", apiErr.Resp.Error)
 	}
 }
+
+// TestDrainingRetryKnob counts submissions against a fake server that
+// is draining twice before accepting, and checks that every verb —
+// JSON and streaming — honours the knob.
+func TestDrainingRetryKnob(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "server is shutting down", Kind: KindDraining})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(ExecResponse{Mode: "RIDV", Epoch: 3})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithDrainingRetries(3), WithRetryBackoff(time.Microsecond, time.Millisecond))
+	res, err := c.Exec(context.Background(), "db", "mode ridv.\nend.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 3 || calls.Load() != 3 {
+		t.Fatalf("res = %+v after %d calls", res, calls.Load())
+	}
+
+	// Without the knob the 503 surfaces typed, with the Retry-After
+	// hint parsed off the header.
+	calls.Store(0)
+	c = New(ts.URL)
+	_, err = c.Exec(context.Background(), "db", "mode ridv.\nend.\n")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !apiErr.IsDraining() {
+		t.Fatalf("err = %v, want surfaced draining", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+
+	// Retries exhausted: bounded, then surfaced.
+	calls.Store(0)
+	c = New(ts.URL, WithDrainingRetries(1), WithRetryBackoff(time.Microsecond, time.Millisecond))
+	_, err = c.Exec(context.Background(), "db", "mode ridv.\nend.\n")
+	if !errors.As(err, &apiErr) || !apiErr.IsDraining() || calls.Load() != 2 {
+		t.Fatalf("err = %v after %d calls, want draining after 2", err, calls.Load())
+	}
+}
+
+// TestDrainingRetryAfterParsed checks the header forms: seconds parse,
+// garbage and negatives are ignored.
+func TestDrainingRetryAfterParsed(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"", 0},
+	} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if tc.header != "" {
+				w.Header().Set("Retry-After", tc.header)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "draining", Kind: KindDraining})
+		}))
+		_, err := New(ts.URL).Info(context.Background(), "db")
+		ts.Close()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("header %q: err = %v", tc.header, err)
+		}
+		if apiErr.RetryAfter != tc.want {
+			t.Fatalf("header %q: RetryAfter = %v, want %v", tc.header, apiErr.RetryAfter, tc.want)
+		}
+	}
+}
+
+// TestDrainingWaitClamped: the server hint never stalls the caller
+// past the backoff cap, and beats the schedule when smaller.
+func TestDrainingWaitClamped(t *testing.T) {
+	c := New("http://x", WithDrainingRetries(5),
+		WithRetryBackoff(time.Millisecond, 8*time.Millisecond))
+	hint := &APIError{Status: http.StatusServiceUnavailable,
+		Resp: ErrorResponse{Kind: KindDraining}, RetryAfter: time.Hour}
+	if wait, ok := c.drainingWait(hint, 0); !ok || wait != 8*time.Millisecond {
+		t.Fatalf("huge hint: wait = %v, %v", wait, ok)
+	}
+	hint.RetryAfter = 0
+	if wait, ok := c.drainingWait(hint, 1); !ok || wait != 2*time.Millisecond {
+		t.Fatalf("no hint: wait = %v, %v", wait, ok)
+	}
+	if _, ok := c.drainingWait(hint, 5); ok {
+		t.Fatal("retry budget not bounded")
+	}
+	conflict := &APIError{Status: http.StatusConflict, Resp: ErrorResponse{Kind: KindConflict}}
+	if _, ok := c.drainingWait(conflict, 0); ok {
+		t.Fatal("non-draining error retried")
+	}
+}

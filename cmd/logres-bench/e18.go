@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"logres"
+	"logres/internal/bench"
+)
+
+// E18 — WAL fsync policy cost. The E15 disjoint-module workload runs
+// over a durable database (snapshot + write-ahead log in a throwaway
+// directory) under each fsync policy, against the in-memory database
+// as the zero-durability baseline. FsyncAlways pays one fsync per
+// commit — the full durability guarantee — while FsyncInterval
+// coalesces syncs into a window and FsyncOff leaves flushing to the
+// OS, so the three rows bound what crash-safety costs per module
+// application.
+
+// e18Durable applies total modules over a fresh durable database:
+// serially for workers == 1, else from workers goroutines through the
+// optimistic path on disjoint predicates (the E15 "disjoint" shape, so
+// every commit takes the WAL delta fast path).
+func e18Durable(total, workers int, fsync logres.FsyncPolicy) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "logres-e18-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	db, _, err := logres.OpenDurable(e15Schema(), logres.Durability{Dir: dir, Fsync: fsync})
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+
+	start := time.Now()
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			if _, err := db.Exec(e15Module(fmt.Sprintf("q%d", i%e15Preds), i)); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	per := total / workers
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own := fmt.Sprintf("q%d", g%e15Preds)
+			for i := 0; i < per; i++ {
+				if _, err := db.ExecConcurrent(e15Module(own, g*per+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+var e18Policies = []logres.FsyncPolicy{logres.FsyncOff, logres.FsyncInterval, logres.FsyncAlways}
+
+func runE18(quick bool) (*bench.Table, error) {
+	t := &bench.Table{
+		Title:   "E18 — WAL fsync policy cost (disjoint module applications)",
+		Columns: []string{"workload", "fsync", "workers", "modules", "time", "mod/s", "slowdown"},
+	}
+	total := 192
+	if quick {
+		total = 48
+	}
+
+	dMem, err := e15Serial(total)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("in-memory", "-", 1, total, dMem, modsPerSec(total, dMem), 1.0)
+
+	for _, workers := range []int{1, 4} {
+		for _, p := range e18Policies {
+			d, err := e18Durable(total, workers, p)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("durable", p.String(), workers, total,
+				d, modsPerSec(total, d), float64(d)/float64(dMem))
+		}
+	}
+	return t, nil
+}

@@ -57,7 +57,7 @@ func main() {
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
-		{"E15", runE15}, {"E16", runE16}, {"E17", runE17},
+		{"E15", runE15}, {"E16", runE16}, {"E17", runE17}, {"E18", runE18},
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -191,6 +191,21 @@ func runSmoke(path string) error {
 		Name: "E15_disjoint_conc4", Tracer: "off", Workers: 4, Shards: 1,
 		Iters: e15Total, NsPerOp: dConc.Nanoseconds() / e15Total,
 	})
+
+	// E18 durability rows: the same workload over a durable database,
+	// one row per fsync policy — the artifact's record of what
+	// crash-safety costs per module application.
+	const e18Total = 64
+	for _, p := range e18Policies {
+		d, err := e18Durable(e18Total, 1, p)
+		if err != nil {
+			return err
+		}
+		results = append(results, smokeResult{
+			Name: "E18_wal_fsync_" + p.String(), Tracer: "off", Workers: 1, Shards: 1,
+			Iters: e18Total, NsPerOp: d.Nanoseconds() / e18Total,
+		})
+	}
 
 	// E16 HTTP rows: one module application over the wire is one "op";
 	// latencies are the server's own exec-route histogram quantiles.

@@ -9,25 +9,36 @@
 // as NDJSON); the observability plane (/metrics, /debug/vars,
 // /debug/pprof) is mounted on the same listener. Flags:
 //
-//	-addr a         listen address (default 127.0.0.1:8440)
-//	-db name        preload a database under this name (default "default"
-//	                when -schema or -load is given)
-//	-schema file    open the preloaded database over this schema file
-//	-load file      load the preloaded database from a snapshot instead
-//	-workers n      evaluation workers for the preloaded database
-//	-shards n       delta shards for the preloaded database
-//	-max-retries n  conflict retry bound for the preloaded database
-//	-grace d        shutdown grace period (default 30s): SIGINT/SIGTERM
-//	                stops accepting work and drains in-flight
-//	                applications; after d they are canceled through
-//	                their contexts (the engine aborts with state
-//	                untouched) and the server exits
-//	-chunk n        rows per streamed query chunk (default 256)
+//	-addr a            listen address (default 127.0.0.1:8440)
+//	-db name           preload a database under this name (default
+//	                   "default" when -schema or -load is given)
+//	-schema file       open the preloaded database over this schema file
+//	-load file         load the preloaded database from a snapshot
+//	                   instead (in-memory servers only)
+//	-workers n         evaluation workers for the preloaded database
+//	-shards n          delta shards for the preloaded database
+//	-max-retries n     conflict retry bound for the preloaded database
+//	-grace d           shutdown grace period (default 30s): SIGINT/SIGTERM
+//	                   stops accepting work and drains in-flight
+//	                   applications; after d they are canceled through
+//	                   their contexts (the engine aborts with state
+//	                   untouched) and the server exits
+//	-chunk n           rows per streamed query chunk (default 256)
+//	-data-dir d        durable mode: every database lives in its own
+//	                   subdirectory of d (snapshot + write-ahead log);
+//	                   databases found under d are recovered at startup
+//	-fsync p           WAL sync policy: always | interval | off
+//	                   (default always)
+//	-fsync-interval d  coalescing window under -fsync interval
+//	                   (default 100ms)
+//	-compact-every n   checkpoint + truncate the WAL every n records
+//	                   (default 4096, negative disables)
 //
 // Shutdown: on the first signal the server stops accepting data-plane
-// requests (503 kind=draining), waits up to -grace for in-flight
-// applications, then force-cancels the stragglers. A second signal
-// exits immediately.
+// requests (503 kind=draining with a Retry-After hint), waits up to
+// -grace for in-flight applications, then force-cancels the
+// stragglers; once drained every durable database's WAL is flushed. A
+// second signal exits immediately.
 package main
 
 import (
@@ -47,20 +58,25 @@ import (
 )
 
 type config struct {
-	addr       string
-	dbName     string
-	schemaPath string
-	loadPath   string
-	workers    int
-	shards     int
-	maxRetries int
-	grace      time.Duration
-	chunk      int
+	addr          string
+	dbName        string
+	schemaPath    string
+	loadPath      string
+	workers       int
+	shards        int
+	maxRetries    int
+	grace         time.Duration
+	chunk         int
+	dataDir       string
+	fsync         logres.FsyncPolicy
+	fsyncInterval time.Duration
+	compactEvery  int
 }
 
 func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("logres-server", flag.ContinueOnError)
 	cfg := &config{}
+	var fsyncName string
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8440", "listen address")
 	fs.StringVar(&cfg.dbName, "db", "default", "name for the preloaded database")
 	fs.StringVar(&cfg.schemaPath, "schema", "", "schema file for the preloaded database")
@@ -70,6 +86,10 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.maxRetries, "max-retries", 0, "conflict retry bound for the preloaded database")
 	fs.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown grace period")
 	fs.IntVar(&cfg.chunk, "chunk", 0, "rows per streamed query chunk")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "data directory for durable databases (empty = in-memory)")
+	fs.StringVar(&fsyncName, "fsync", "always", "WAL sync policy: always | interval | off")
+	fs.DurationVar(&cfg.fsyncInterval, "fsync-interval", 0, "coalescing window under -fsync interval (default 100ms)")
+	fs.IntVar(&cfg.compactEvery, "compact-every", 0, "WAL records between compactions (default 4096, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -79,13 +99,23 @@ func parseFlags(args []string) (*config, error) {
 	if cfg.schemaPath != "" && cfg.loadPath != "" {
 		return nil, errors.New("-schema and -load are mutually exclusive")
 	}
+	if cfg.loadPath != "" && cfg.dataDir != "" {
+		return nil, errors.New("-load and -data-dir are mutually exclusive (recover from the data directory instead)")
+	}
+	var err error
+	if cfg.fsync, err = logres.ParseFsyncPolicy(fsyncName); err != nil {
+		return nil, err
+	}
 	return cfg, nil
 }
 
 // preload opens the database named by -schema/-load, sharing the
 // server's metrics registry so its evaluation counters land on
-// /metrics beside the HTTP ones.
-func preload(cfg *config, srv *server.Server) error {
+// /metrics beside the HTTP ones. On a durable server the preload goes
+// through srv.Create (so it persists like API-created databases) and
+// is skipped when the name was already recovered from the data
+// directory — the persisted state wins over the schema file.
+func preload(cfg *config, srv *server.Server, stderr *os.File) error {
 	if cfg.schemaPath == "" && cfg.loadPath == "" {
 		return nil
 	}
@@ -99,36 +129,53 @@ func preload(cfg *config, srv *server.Server) error {
 	if cfg.maxRetries != 0 {
 		opts = append(opts, logres.WithMaxRetries(cfg.maxRetries))
 	}
-	var (
-		db  *logres.Database
-		err error
-	)
 	if cfg.loadPath != "" {
-		var f *os.File
-		if f, err = os.Open(cfg.loadPath); err != nil {
+		f, err := os.Open(cfg.loadPath)
+		if err != nil {
 			return err
 		}
 		defer f.Close()
-		db, err = logres.Load(f, opts...)
-	} else {
-		var src []byte
-		if src, err = os.ReadFile(cfg.schemaPath); err != nil {
+		db, err := logres.Load(f, opts...)
+		if err != nil {
 			return err
 		}
-		db, err = logres.Open(string(src), opts...)
+		return srv.Add(cfg.dbName, db)
 	}
+	src, err := os.ReadFile(cfg.schemaPath)
 	if err != nil {
 		return err
 	}
-	return srv.Add(cfg.dbName, db)
+	if _, err := srv.Create(cfg.dbName, string(src), opts...); err != nil {
+		if errors.Is(err, server.ErrExists) {
+			fmt.Fprintf(stderr, "logres-server: database %q recovered from %s; -schema ignored\n",
+				cfg.dbName, cfg.dataDir)
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // run serves until ctx is canceled (the first signal), then drains:
 // Server.Shutdown bounds the in-flight applications by cfg.grace, and
 // the http.Server shutdown closes the listener and idle connections.
 func run(ctx context.Context, cfg *config, ln net.Listener, stderr *os.File) error {
-	srv := server.New(server.Options{QueryChunkSize: cfg.chunk})
-	if err := preload(cfg, srv); err != nil {
+	srv := server.New(server.Options{
+		QueryChunkSize: cfg.chunk,
+		DataDir:        cfg.dataDir,
+		Fsync:          cfg.fsync,
+		FsyncInterval:  cfg.fsyncInterval,
+		CompactEvery:   cfg.compactEvery,
+	})
+	recovered, err := srv.OpenDataDir()
+	if err != nil {
+		return err
+	}
+	if len(recovered) > 0 {
+		fmt.Fprintf(stderr, "logres-server: recovered %d database(s) from %s: %v\n",
+			len(recovered), cfg.dataDir, recovered)
+	}
+	if err := preload(cfg, srv, stderr); err != nil {
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}

@@ -308,3 +308,62 @@ func TestParseFlags(t *testing.T) {
 		t.Errorf("parseFlags = %+v, %v", cfg, err)
 	}
 }
+
+// TestParseDurableFlags covers the durability flag surface.
+func TestParseDurableFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-data-dir", "/tmp/x", "-fsync", "interval",
+		"-fsync-interval", "50ms", "-compact-every", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.dataDir != "/tmp/x" || cfg.fsync.String() != "interval" ||
+		cfg.fsyncInterval != 50*time.Millisecond || cfg.compactEvery != 64 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-fsync", "sometimes"}); err == nil {
+		t.Error("bad fsync policy accepted")
+	}
+	if _, err := parseFlags([]string{"-load", "a", "-data-dir", "b"}); err == nil {
+		t.Error("load+data-dir accepted")
+	}
+	if cfg, err := parseFlags(nil); err != nil || cfg.fsync.String() != "always" {
+		t.Errorf("default fsync = %v, %v", cfg.fsync, err)
+	}
+}
+
+// TestEndToEndDurableRestart commits through a live daemon, stops it
+// via the signal path, and restarts over the same data directory: the
+// preloaded database must come back recovered with its commits.
+func TestEndToEndDurableRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	ctx := context.Background()
+
+	c, _, cancel, wait := startServer(t, "-data-dir", dataDir)
+	if _, err := c.Exec(ctx, "e2e", "mode ridv.\nrules p(x: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, "e2e", "mode ridv.\nrules p(x: 2).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info(ctx, "e2e")
+	if err != nil || info.Durability == nil {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+	cancel()
+	if err := wait(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("first run exited: %v", err)
+	}
+
+	c2, _, _, _ := startServer(t, "-data-dir", dataDir)
+	info2, err := c2.Info(ctx, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Epoch != info.Epoch || info2.Recovery == nil {
+		t.Fatalf("recovered info = %+v vs committed epoch %d", info2, info.Epoch)
+	}
+	ans, err := c2.Query(ctx, "e2e", "?- p(x: X).")
+	if err != nil || len(ans.Rows) != 2 {
+		t.Fatalf("recovered query = %+v, %v", ans, err)
+	}
+}

@@ -127,7 +127,13 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 			hook(attempt)
 		}
 
-		_, path, pred, theirs, ok := db.tryCommit(epoch, sr)
+		_, path, pred, theirs, ok, err := db.tryCommit(epoch, sr)
+		if err != nil {
+			// A WAL failure is not a conflict: the evaluation succeeded
+			// but could not be made durable. No retry — the store
+			// refuses writes until the database is reopened.
+			return nil, err
+		}
 		if ok {
 			if tracer != nil {
 				tracer.Event(obs.Event{Kind: obs.KindModuleCommit, Pred: m.Name,
@@ -193,7 +199,10 @@ func retryBackoff(attempt int) time.Duration {
 // install the outcome. It returns the committed state (nil for
 // read-only), the commit path for tracing, and on failure the
 // conflicting predicate plus the committed footprint it collided with.
-func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *module.State, path, pred string, theirs Footprint, ok bool) {
+// On a durable database the commit is WAL-logged before it is
+// published; a logging failure (err != nil) fails the application
+// without a retry — the store refuses further writes until reopened.
+func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *module.State, path, pred string, theirs Footprint, ok bool, err error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 
@@ -201,20 +210,24 @@ func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *mo
 		// Queries validate nothing: the answer was computed against a
 		// consistent snapshot, which equals the serial order in which
 		// the query ran at its snapshot point.
-		return nil, "read-only", "", Footprint{}, true
+		return nil, "read-only", "", Footprint{}, true, nil
 	}
 	if sr.Replace {
 		// Whole-state replacement is only sound when nothing committed
 		// since the snapshot — it carries no mergeable delta.
 		if db.log.Epoch() != epoch {
-			return nil, "", "*", Footprint{Universal: true}, false
+			return nil, "", "*", Footprint{Universal: true}, false, nil
+		}
+		if err := db.walAppendReplace(epoch+1, sr.Res.State); err != nil {
+			return nil, "", "", Footprint{}, false, err
 		}
 		db.publish(sr.Res.State)
 		db.log.Record(Footprint{Universal: true})
-		return sr.Res.State, "replace", "", Footprint{}, true
+		db.maybeCompact()
+		return sr.Res.State, "replace", "", Footprint{}, true, nil
 	}
 	if p, their, valid := db.log.Validate(epoch, sr.Footprint); !valid {
-		return nil, "", p, their, false
+		return nil, "", p, their, false, nil
 	}
 	if db.log.Epoch() == epoch {
 		// Nothing committed since the snapshot: the evaluated result
@@ -225,9 +238,16 @@ func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *mo
 		// current committed state.
 		next, path = module.CommitDelta(db.st, sr), "merge"
 	}
+	// The delta record replays removes-then-adds onto the predecessor
+	// state — exactly what CommitDelta does — so recovery reproduces
+	// next byte for byte on both the fast and merge paths.
+	if err := db.walAppendDelta(db.log.Epoch()+1, sr); err != nil {
+		return nil, "", "", Footprint{}, false, err
+	}
 	db.publish(next)
 	db.log.Record(Footprint{Writes: sr.Footprint.Writes})
-	return next, path, "", Footprint{}, true
+	db.maybeCompact()
+	return next, path, "", Footprint{}, true, nil
 }
 
 // CommitEpoch returns the database's current commit epoch — the number

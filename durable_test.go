@@ -1,0 +1,451 @@
+package logres
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+
+	"logres/internal/hooks"
+	"logres/internal/storage"
+)
+
+const durableSchema = `
+associations
+  Q0 = (x: integer);
+  Q1 = (x: integer);
+  Q2 = (x: integer);
+  Q3 = (x: integer);
+`
+
+func durableMod(pred string, v int) string {
+	return fmt.Sprintf("mode ridv.\nrules\n  %s(x: %d).\nend.\n", pred, v)
+}
+
+// ---------------------------------------------------------------------------
+// Reopen equivalence: recovery reproduces Save bytes exactly
+// ---------------------------------------------------------------------------
+
+func TestDurableReopenReproducesState(t *testing.T) {
+	dir := t.TempDir()
+	db, rec, err := OpenDurable(durableSchema, Durability{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatalf("fresh directory reported a recovery: %+v", rec)
+	}
+	if !db.Durable() {
+		t.Fatal("OpenDurable database is not durable")
+	}
+
+	// Exercise every commit shape: serial data commit, optimistic delta
+	// commit, rule-adding replacement, module registration, a serial
+	// call of the registered module, and materialization.
+	if _, err := db.Exec(durableMod("q0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecConcurrent(durableMod("q1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("mode radv.\nrules\n  q2(x: X) <- q0(x: X).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("module fill.\nmode ridv.\nrules\n  q3(x: 7).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Call("fill"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytesDurable(t, db)
+	wantEpoch := db.CommitEpoch()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, rec2, err := OpenDurable(durableSchema, Durability{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if rec2 == nil || rec2.Tail != nil {
+		t.Fatalf("reopen recovery = %+v", rec2)
+	}
+	if got := saveBytesDurable(t, db2); !bytes.Equal(got, want) {
+		t.Fatal("recovered Save bytes differ from pre-close state")
+	}
+	if db2.CommitEpoch() != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", db2.CommitEpoch(), wantEpoch)
+	}
+	if rep := db2.Recovery(); rep == nil || rep.Epoch != wantEpoch {
+		t.Fatalf("Recovery() = %+v", rep)
+	}
+	// The recovered library works.
+	if _, err := db2.Call("fill"); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered database keeps committing durably.
+	if _, err := db2.ExecConcurrent(durableMod("q0", 50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func saveBytesDurable(t *testing.T, db *Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDurableStatusAndSync(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := OpenDurable(durableSchema, Durability{Dir: dir, Fsync: FsyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(durableMod("q0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := db.Durability()
+	if !ok || st.Dir != dir || st.Epoch != 1 || st.WALRecords != 1 || st.Fsync != FsyncInterval {
+		t.Fatalf("Durability() = %+v, %v", st, ok)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-durable databases answer negatively but never error.
+	mem, err := Open(durableSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Durable() {
+		t.Fatal("in-memory database claims durability")
+	}
+	if _, ok := mem.Durability(); ok {
+		t.Fatal("in-memory database has a durability status")
+	}
+	if err := mem.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.AsOf(0); err == nil {
+		t.Fatal("AsOf on an in-memory database succeeded")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Point-in-time reads
+// ---------------------------------------------------------------------------
+
+func TestDurableAsOf(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := OpenDurable(durableSchema, Durability{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var byEpoch [][]byte
+	byEpoch = append(byEpoch, saveBytesDurable(t, db))
+	for i := 0; i < 4; i++ {
+		if _, err := db.Exec(durableMod("q0", i)); err != nil {
+			t.Fatal(err)
+		}
+		byEpoch = append(byEpoch, saveBytesDurable(t, db))
+	}
+	for e := uint64(0); e <= 4; e++ {
+		past, err := db.AsOf(e)
+		if err != nil {
+			t.Fatalf("AsOf(%d): %v", e, err)
+		}
+		if got := saveBytesDurable(t, past); !bytes.Equal(got, byEpoch[e]) {
+			t.Fatalf("AsOf(%d) differs from the live state at that epoch", e)
+		}
+		// The past view answers queries.
+		n, err := past.EDBCount("q0"), error(nil)
+		if err != nil || n != int(e) {
+			t.Fatalf("AsOf(%d) q0 count = %d", e, n)
+		}
+	}
+	if _, err := db.AsOf(99); err == nil {
+		t.Fatal("AsOf(future) succeeded")
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AsOf(1); !errors.Is(err, storage.ErrCompacted) {
+		t.Fatalf("AsOf(pre-checkpoint) = %v, want ErrCompacted", err)
+	}
+}
+
+func TestDurableAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := OpenDurable(durableSchema, Durability{Dir: dir, Fsync: FsyncOff, CompactEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 7; i++ {
+		if _, err := db.ExecConcurrent(durableMod("q0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := db.Durability()
+	if st.CheckpointEpoch == 0 {
+		t.Fatalf("no automatic compaction after 7 commits with CompactEvery=3: %+v", st)
+	}
+	if st.WALRecords >= 7 {
+		t.Fatalf("WAL never truncated: %+v", st)
+	}
+	// Recovery from the compacted directory reproduces the state.
+	want := saveBytesDurable(t, db)
+	db.Close()
+	db2, _, err := OpenDurable(durableSchema, Durability{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !bytes.Equal(saveBytesDurable(t, db2), want) {
+		t.Fatal("post-compaction recovery differs")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix: kill at every durability boundary under concurrency
+// ---------------------------------------------------------------------------
+
+// durableOps is the commutative workload of the crash matrix: each op
+// adds one distinct fact to its own predicate, so the correct recovered
+// state is determined by the SET of committed ops alone — an oracle
+// that needs no ordering information from the concurrent run.
+type durableOp struct {
+	pred string
+	val  int
+}
+
+func durableOps() []durableOp {
+	var ops []durableOp
+	for i := 0; i < 12; i++ {
+		ops = append(ops, durableOp{pred: fmt.Sprintf("q%d", i%4), val: 1000 + i})
+	}
+	return ops
+}
+
+// runCrashWorkload applies ops concurrently against a durable database
+// and returns which ops were acked (committed without error). The
+// database is abandoned afterwards, as a crashed process would.
+func runCrashWorkload(t *testing.T, dir string, workers, shards int) (acked map[durableOp]bool) {
+	t.Helper()
+	db, _, err := OpenDurable(durableSchema,
+		Durability{Dir: dir, Fsync: FsyncAlways, CompactEvery: 5},
+		WithWorkers(workers), WithShards(shards))
+	if err != nil {
+		// The injected fault can land in Create/Open itself.
+		return map[durableOp]bool{}
+	}
+	ops := durableOps()
+	acked = make(map[durableOp]bool, len(ops))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for _, op := range ops {
+		op := op
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := db.ExecConcurrent(durableMod(op.pred, op.val)); err == nil {
+				mu.Lock()
+				acked[op] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return acked
+}
+
+func TestDurableCrashMatrix(t *testing.T) {
+	configs := []struct{ workers, shards int }{{1, 1}, {1, 4}, {4, 1}, {4, 4}}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("w%dxs%d", cfg.workers, cfg.shards), func(t *testing.T) {
+			// Pass 1: count fault-point crossings in a clean run. Under
+			// concurrency the exact count varies slightly run to run
+			// (compaction timing); the clean count is a good census of
+			// the interesting window.
+			var mu sync.Mutex
+			crossings := 0
+			hooks.StorageFault = func(string) error {
+				mu.Lock()
+				crossings++
+				mu.Unlock()
+				return nil
+			}
+			runCrashWorkload(t, t.TempDir(), cfg.workers, cfg.shards)
+			hooks.StorageFault = nil
+			if crossings == 0 {
+				t.Fatal("workload crossed no fault points")
+			}
+
+			// Pass 2: kill at every crossing. Stride 1 for the serial
+			// config, wider for the rest to keep the matrix fast.
+			stride := 1
+			if cfg.workers*cfg.shards > 1 {
+				stride = 3
+			}
+			for k := 0; k < crossings; k += stride {
+				k := k
+				dir := t.TempDir()
+				n := 0
+				var killed string
+				hooks.StorageFault = func(point string) error {
+					mu.Lock()
+					defer mu.Unlock()
+					n++
+					if n-1 == k {
+						killed = point
+						return errors.New("injected crash")
+					}
+					return nil
+				}
+				acked := runCrashWorkload(t, dir, cfg.workers, cfg.shards)
+				hooks.StorageFault = nil
+
+				if ok, err := storage.Exists(dir); err != nil || !ok {
+					if len(acked) != 0 {
+						t.Fatalf("kill@%d(%s): acked %d ops but nothing durable", k, killed, len(acked))
+					}
+					continue
+				}
+				db, _, err := OpenDurable(durableSchema, Durability{Dir: dir})
+				if err != nil {
+					t.Fatalf("kill@%d(%s): recovery failed: %v", k, killed, err)
+				}
+
+				// Which ops' facts survived?
+				present := map[durableOp]bool{}
+				extra := 0
+				for _, op := range durableOps() {
+					ans, err := db.Query(fmt.Sprintf("?- %s(x: %d).", op.pred, op.val))
+					if err != nil {
+						t.Fatalf("kill@%d(%s): query: %v", k, killed, err)
+					}
+					if len(ans.Rows) > 0 {
+						present[op] = true
+						if !acked[op] {
+							extra++
+						}
+					}
+				}
+				// Durability: every acked op survived the crash.
+				for op := range acked {
+					if !present[op] {
+						t.Fatalf("kill@%d(%s): acked op %v lost", k, killed, op)
+					}
+				}
+				// Atomicity: at most the single in-flight op may appear
+				// beyond the acked set (WAL write completed, ack lost).
+				if extra > 1 {
+					t.Fatalf("kill@%d(%s): %d unacked ops surfaced", k, killed, extra)
+				}
+
+				// Exactness: the recovered Save bytes equal a serial
+				// re-application of exactly the present ops.
+				ref, err := Open(durableSchema)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, op := range durableOps() {
+					if present[op] {
+						if _, err := ref.Exec(durableMod(op.pred, op.val)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if !bytes.Equal(saveBytesDurable(t, db), saveBytesDurable(t, ref)) {
+					t.Fatalf("kill@%d(%s): recovered state differs from the committed-set replay", k, killed)
+				}
+				db.Close()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real-process kill: re-exec the test binary and SIGKILL it mid-commit
+// ---------------------------------------------------------------------------
+
+// TestDurableKillProcess re-executes the test binary as a child that
+// commits in a loop and self-SIGKILLs at a WAL boundary, then recovers
+// the directory in this process — the end-to-end version of the
+// in-process matrix (the page cache survives a process kill, so the
+// unsynced suffix is still expected to be readable).
+func TestDurableKillProcess(t *testing.T) {
+	if os.Getenv("LOGRES_CRASH_CHILD") == "1" {
+		crashChildMain(t)
+		return
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestDurableKillProcess$")
+	cmd.Env = append(os.Environ(), "LOGRES_CRASH_CHILD=1", "LOGRES_CRASH_DIR="+dir)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("child exited cleanly, expected SIGKILL; output:\n%s", out)
+	}
+
+	db, rec, err := OpenDurable(durableSchema, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery after real kill failed: %v\nchild output:\n%s", err, out)
+	}
+	defer db.Close()
+	if rec == nil {
+		t.Fatal("no recovery report after kill")
+	}
+	// The child acked epochs 1..5 before raising SIGKILL mid-commit of
+	// the sixth; every acked epoch must have survived.
+	if rec.Epoch < 5 {
+		t.Fatalf("recovered epoch %d, child acked 5; report %+v\nchild output:\n%s", rec.Epoch, rec, out)
+	}
+	n := db.EDBCount("q0")
+	if n != int(rec.Epoch) {
+		t.Fatalf("recovered %d facts at epoch %d", n, rec.Epoch)
+	}
+}
+
+// crashChildMain is the child side: commit five modules, then install a
+// fault hook that SIGKILLs this process at the next WAL append — a real
+// crash between two durability syscalls.
+func crashChildMain(t *testing.T) {
+	dir := os.Getenv("LOGRES_CRASH_DIR")
+	db, _, err := OpenDurable(durableSchema, Durability{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("child open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := db.Exec(durableMod("q0", i)); err != nil {
+			t.Fatalf("child exec: %v", err)
+		}
+	}
+	hooks.StorageFault = func(point string) error {
+		if point == "wal.fsync" {
+			p, _ := os.FindProcess(os.Getpid())
+			p.Kill()
+			select {} // never observed: the signal lands first
+		}
+		return nil
+	}
+	_, _ = db.Exec(durableMod("q0", 99))
+	t.Fatal("child survived its own SIGKILL")
+}

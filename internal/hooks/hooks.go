@@ -11,3 +11,25 @@ package hooks
 // conflict tests use to commit a competing write in the validation
 // window, and drain tests use to hold an apply in flight.
 var ConcurrentPreCommit func(attempt int)
+
+// StorageFault, when non-nil, runs immediately before every durability
+// syscall boundary in internal/storage — each WAL append, fsync,
+// truncation and rotation, and each snapshot write, sync and rename
+// (the point names are the obs event kinds plus "snapshot.write",
+// "snapshot.rename", "dir.sync", "wal.rotate", "wal.truncate",
+// "wal.quarantine"). Returning a non-nil error aborts the operation at
+// exactly that boundary, leaving on disk only the syscalls that already
+// ran — the crash-matrix tests use this to simulate a SIGKILL between
+// any two durability syscalls and then recover the directory fresh. The
+// hook may also never return (the re-exec SIGKILL test raises the
+// signal inside it).
+var StorageFault func(point string) error
+
+// Fault invokes StorageFault when installed; production pays one nil
+// check per durability boundary.
+func Fault(point string) error {
+	if StorageFault != nil {
+		return StorageFault(point)
+	}
+	return nil
+}

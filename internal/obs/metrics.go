@@ -307,5 +307,18 @@ func (t metricsTracer) Event(ev Event) {
 		m.Counter(fmt.Sprintf("logres_vec_kernel_rows_total{kernel=%q}", ev.Pred)).Add(int64(ev.Total))
 	case KindParallelDispatch:
 		m.Counter("logres_parallel_dispatches_total").Add(1)
+	case KindWALAppend:
+		m.Counter("logres_wal_appends_total").Add(1)
+		m.Counter("logres_wal_bytes_total").Add(int64(ev.Count))
+		m.Gauge("logres_wal_size_bytes").Set(int64(ev.Total))
+	case KindWALSync:
+		m.Counter("logres_wal_fsyncs_total").Add(1)
+		m.Histogram("logres_wal_fsync_duration_ns").Observe(int64(ev.Duration))
+	case KindWALRecover:
+		m.Counter("logres_wal_recoveries_total").Add(1)
+		m.Counter("logres_wal_replayed_records_total").Add(int64(ev.Count))
+	case KindWALCompact:
+		m.Counter("logres_wal_compactions_total").Add(1)
+		m.Histogram("logres_wal_compact_duration_ns").Observe(int64(ev.Duration))
 	}
 }

@@ -105,6 +105,25 @@ const (
 	// probe (delta) size that justified the fan-out. Nondeterministic:
 	// present only on parallel configurations.
 	KindParallelDispatch Kind = "parallel.dispatch"
+	// KindWALAppend reports one record appended to the write-ahead log:
+	// Round = the record's commit epoch (truncated to int), Pred = the
+	// record type ("delta", "replace", "register"), Count = framed bytes
+	// written, Total = WAL size in bytes after the append.
+	// Nondeterministic: depends on commit interleaving and durability
+	// configuration.
+	KindWALAppend Kind = "wal.append"
+	// KindWALSync reports one WAL fsync: Duration = the sync wall-clock,
+	// Detail = the policy that triggered it ("always", "interval",
+	// "explicit"). Nondeterministic.
+	KindWALSync Kind = "wal.fsync"
+	// KindWALRecover reports one completed crash recovery: Round = the
+	// recovered epoch, Count = WAL records replayed, Detail = "clean" or
+	// the torn-tail recovery error. Nondeterministic.
+	KindWALRecover Kind = "wal.recover"
+	// KindWALCompact reports one log compaction: Round = the checkpoint
+	// epoch, Count = WAL records truncated away, Duration = the
+	// compaction wall-clock. Nondeterministic.
+	KindWALCompact Kind = "wal.compact"
 )
 
 // Deterministic reports whether events of this kind are part of the
@@ -113,7 +132,7 @@ const (
 func (k Kind) Deterministic() bool {
 	switch k {
 	case KindMerge, KindGuardCheck, KindModuleCommit, KindModuleConflict, KindModuleRetry,
-		KindParallelDispatch:
+		KindParallelDispatch, KindWALAppend, KindWALSync, KindWALRecover, KindWALCompact:
 		return false
 	}
 	return true

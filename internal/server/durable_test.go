@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logres"
+	"logres/client"
+)
+
+// newDurableServer builds a server persisting into dir; restartable by
+// calling it again with the same dir.
+func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	s := New(Options{DataDir: dir, Fsync: logres.FsyncAlways})
+	if _, err := s.OpenDataDir(); err != nil {
+		t.Fatalf("OpenDataDir: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, client.New(ts.URL)
+}
+
+// TestDurableServerSurvivesRestart commits through the API, tears the
+// server down, and recovers the registry from the data directory: the
+// epoch, the facts, and the recovery report must all survive.
+func TestDurableServerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	_, ts1, c1 := newDurableServer(t, dir)
+	mustCreate(t, c1, "orders", nil)
+	if _, err := c1.Exec(ctx, "orders", "mode ridv.\nrules p(x: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec(ctx, "orders", "mode ridv.\nrules p(x: 2).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c1.Info(ctx, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Durability == nil {
+		t.Fatal("created database reports no durability")
+	}
+	if info.Durability.Epoch != info.Epoch || info.Durability.Fsync != "always" {
+		t.Fatalf("durability = %+v vs epoch %d", info.Durability, info.Epoch)
+	}
+	if info.Recovery != nil {
+		t.Fatalf("fresh database reports a recovery: %+v", info.Recovery)
+	}
+	ts1.Close()
+
+	s2, _, c2 := newDurableServer(t, dir)
+	names, err := c2.List(ctx)
+	if err != nil || len(names) != 1 || names[0] != "orders" {
+		t.Fatalf("recovered registry = %v, %v", names, err)
+	}
+	info2, err := c2.Info(ctx, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Epoch != info.Epoch {
+		t.Fatalf("recovered epoch %d != committed %d", info2.Epoch, info.Epoch)
+	}
+	if info2.Recovery == nil || info2.Recovery.Epoch != info.Epoch || info2.Recovery.TornTail != "" {
+		t.Fatalf("recovery info = %+v", info2.Recovery)
+	}
+	ans, err := c2.Query(ctx, "orders", "?- p(x: X).")
+	if err != nil || len(ans.Rows) != 2 {
+		t.Fatalf("recovered query = %+v, %v", ans, err)
+	}
+	// The recovered database keeps committing durably.
+	if _, err := c2.Exec(ctx, "orders", "mode ridv.\nrules p(x: 3).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after drain: %v", err)
+	}
+}
+
+// TestDurableDropParksDirectory drops a durable database and checks
+// the data directory was renamed aside, freeing the name for an
+// immediate fresh create.
+func TestDurableDropParksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	_, _, c := newDurableServer(t, dir)
+	mustCreate(t, c, "tmp", nil)
+	if _, err := c.Exec(ctx, "tmp", "mode ridv.\nrules p(x: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop(ctx, "tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp")); !os.IsNotExist(err) {
+		t.Fatalf("dropped directory still present: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "tmp.dropped.") {
+			parked++
+		}
+	}
+	if parked != 1 {
+		t.Fatalf("parked directories = %d, want 1", parked)
+	}
+	// The name is free again, and the new database starts fresh.
+	mustCreate(t, c, "tmp", nil)
+	info, err := c.Info(ctx, "tmp")
+	if err != nil || info.Epoch != 0 {
+		t.Fatalf("recreated info = %+v, %v", info, err)
+	}
+}
+
+// TestDurableDroppedDirsSkippedOnRecovery: parked directories do not
+// come back as databases after a restart.
+func TestDurableDroppedDirsSkippedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	_, ts, c := newDurableServer(t, dir)
+	mustCreate(t, c, "keep", nil)
+	mustCreate(t, c, "gone", nil)
+	if err := c.Drop(ctx, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	_, _, c2 := newDurableServer(t, dir)
+	names, err := c2.List(ctx)
+	if err != nil || len(names) != 1 || names[0] != "keep" {
+		t.Fatalf("recovered registry = %v, %v", names, err)
+	}
+}
+
+// TestQueryAsOf reads the database at past epochs through the wire.
+func TestQueryAsOf(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	_, _, c := newDurableServer(t, dir)
+	mustCreate(t, c, "hist", nil)
+	for i := 1; i <= 3; i++ {
+		mod := "mode ridv.\nrules p(x: " + string(rune('0'+i)) + ").\nend.\n"
+		if _, err := c.Exec(ctx, "hist", mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for epoch := 1; epoch <= 3; epoch++ {
+		var rows int
+		_, err := c.QueryStream(ctx, "hist",
+			client.QueryRequest{Goal: "?- p(x: X).", AsOf: uint64(epoch)},
+			func(chunk [][]string) error { rows += len(chunk); return nil })
+		if err != nil {
+			t.Fatalf("as_of %d: %v", epoch, err)
+		}
+		if rows != epoch {
+			t.Fatalf("as_of %d: rows = %d", epoch, rows)
+		}
+	}
+	// A future epoch is a client error.
+	_, err := c.QueryStream(ctx, "hist",
+		client.QueryRequest{Goal: "?- p(x: X).", AsOf: 99}, func([][]string) error { return nil })
+	apiErr := asAPIError(t, err)
+	if apiErr.Status != http.StatusBadRequest || apiErr.Resp.Kind != client.KindInvalid {
+		t.Fatalf("future as_of = %v", apiErr)
+	}
+}
+
+// TestQueryAsOfRequiresDurability: an in-memory database has no
+// history to read.
+func TestQueryAsOfRequiresDurability(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreate(t, c, "mem", nil)
+	if _, err := c.Exec(ctx, "mem", "mode ridv.\nrules p(x: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.QueryStream(ctx, "mem",
+		client.QueryRequest{Goal: "?- p(x: X).", AsOf: 1}, func([][]string) error { return nil })
+	apiErr := asAPIError(t, err)
+	if apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("as_of on in-memory db = %v", apiErr)
+	}
+}
+
+// TestDrainingResponseCarriesRetryAfter: the shutdown gate advertises
+// its backoff hint.
+func TestDrainingResponseCarriesRetryAfter(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestValidateDBNameRejectsTraversal: names are data-directory
+// components on durable servers, so the dot names must never pass.
+func TestValidateDBNameRejectsTraversal(t *testing.T) {
+	for _, name := range []string{".", "..", "", "a/b", strings.Repeat("x", 129)} {
+		if err := validateDBName(name); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+	for _, name := range []string{"a", "snap.shot", "...", "A-1_b"} {
+		if err := validateDBName(name); err != nil {
+			t.Fatalf("name %q rejected: %v", name, err)
+		}
+	}
+	// Through the API too: creating ".." on a durable server must not
+	// write outside the data directory.
+	dir := t.TempDir()
+	s, _, _ := newDurableServer(t, dir)
+	if _, err := s.Create("..", testSchema); err == nil {
+		t.Fatal("Create(\"..\") accepted")
+	}
+}
+
+// TestDurableCreateRace: concurrent creates of one name get exactly
+// one directory and one winner.
+func TestDurableCreateRace(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := newDurableServer(t, dir)
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := s.Create("same", testSchema)
+			errs <- err
+		}()
+	}
+	winners := 0
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err == nil {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d, want 1", winners)
+	}
+}

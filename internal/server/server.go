@@ -18,8 +18,11 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -42,13 +45,33 @@ type Options struct {
 	Metrics *logres.Metrics
 	// QueryChunkSize overrides DefaultQueryChunkSize (<= 0 keeps it).
 	QueryChunkSize int
+	// DataDir, when set, makes every database durable: each lives in
+	// its own subdirectory (snapshot + write-ahead log), creates persist
+	// across restarts, and OpenDataDir recovers the whole registry at
+	// startup. Empty keeps databases in memory.
+	DataDir string
+	// Fsync, FsyncInterval, and CompactEvery configure the WAL of every
+	// durable database (logres.Durability); zero values keep the
+	// defaults (fsync on every append, compact every 4096 records).
+	Fsync         logres.FsyncPolicy
+	FsyncInterval time.Duration
+	CompactEvery  int
 }
+
+// ErrExists reports a create against a name that is already
+// registered; errors.Is identifies it through the wrapped form.
+var ErrExists = errors.New("database already exists")
 
 // Server is the data-plane handler plus the database registry.
 type Server struct {
 	metrics   *logres.Metrics
 	chunkSize int
 	mux       *http.ServeMux
+
+	dataDir       string
+	fsync         logres.FsyncPolicy
+	fsyncInterval time.Duration
+	compactEvery  int
 
 	mu  sync.RWMutex
 	dbs map[string]*logres.Database
@@ -75,11 +98,15 @@ func New(opts Options) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		metrics:     m,
-		chunkSize:   chunk,
-		dbs:         map[string]*logres.Database{},
-		forceCtx:    ctx,
-		forceCancel: cancel,
+		metrics:       m,
+		chunkSize:     chunk,
+		dataDir:       opts.DataDir,
+		fsync:         opts.Fsync,
+		fsyncInterval: opts.FsyncInterval,
+		compactEvery:  opts.CompactEvery,
+		dbs:           map[string]*logres.Database{},
+		forceCtx:      ctx,
+		forceCancel:   cancel,
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -109,11 +136,96 @@ func (s *Server) Add(name string, db *logres.Database) error {
 	return nil
 }
 
+// Create opens a database over schema and registers it under name —
+// durably, into its own subdirectory of the data directory, when the
+// server has one. It is the programmatic form of PUT /v1/db/{name};
+// the daemon's preload path shares it so a preloaded database gets the
+// same durability as API-created ones. A taken name fails with a
+// wrapped ErrExists. The registry lock is held across the store
+// creation so two racing creates of one name cannot both claim its
+// directory.
+func (s *Server) Create(name, schema string, opts ...logres.Option) (*logres.Database, error) {
+	if err := validateDBName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dbs[name]; ok {
+		return nil, fmt.Errorf("server: database %q: %w", name, ErrExists)
+	}
+	var (
+		db  *logres.Database
+		err error
+	)
+	if s.dataDir != "" {
+		db, _, err = logres.OpenDurable(schema, s.durability(name), opts...)
+	} else {
+		db, err = logres.Open(schema, opts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.dbs[name] = db
+	return db, nil
+}
+
+// durability is the per-database durable configuration: one
+// subdirectory of the data dir, the server-wide WAL knobs.
+func (s *Server) durability(name string) logres.Durability {
+	return logres.Durability{
+		Dir:           filepath.Join(s.dataDir, name),
+		Fsync:         s.fsync,
+		FsyncInterval: s.fsyncInterval,
+		CompactEvery:  s.compactEvery,
+	}
+}
+
+// OpenDataDir opens or recovers every database persisted under the
+// server's data directory, registering each subdirectory under its
+// name, and returns the recovered names sorted. Directories parked by
+// a drop (name.dropped.<nanos>) and entries that are not valid
+// database names are skipped. Per-database recovery detail — replayed
+// records, a quarantined torn tail — is exposed on GET /v1/db/{name}.
+// A no-op without a data directory.
+func (s *Server) OpenDataDir(opts ...logres.Option) ([]string, error) {
+	if s.dataDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.dataDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || strings.Contains(name, ".dropped.") || validateDBName(name) != nil {
+			continue
+		}
+		all := append([]logres.Option{logres.WithMetrics(s.metrics)}, opts...)
+		db, _, err := logres.OpenDurable("", s.durability(name), all...)
+		if err != nil {
+			return names, fmt.Errorf("server: recovering database %q: %w", name, err)
+		}
+		s.mu.Lock()
+		s.dbs[name] = db
+		s.mu.Unlock()
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
 // Shutdown drains the server: new data-plane requests get 503, and the
 // call blocks until every in-flight request finished. When ctx expires
 // first, in-flight evaluations are canceled through their contexts (the
 // engine aborts between rounds with a *CanceledError and state
 // untouched) and Shutdown still waits for the handlers to unwind.
+// Once drained, every durable database's WAL is flushed to stable
+// storage, so interval- and off-policy databases lose nothing on a
+// clean shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -121,14 +233,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.inflight.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.forceCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, db := range s.dbs {
+		if serr := db.Sync(); serr != nil && err == nil {
+			err = fmt.Errorf("server: syncing database %q: %w", name, serr)
+		}
+	}
+	return err
 }
 
 // routes wires the data plane and mounts the observability mux beside
@@ -155,6 +275,10 @@ func (s *Server) routes() {
 func (s *Server) dataPlane(route string, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
+			// The hint tells retrying clients (client.WithDrainingRetries)
+			// how long to back off before trying a peer or the restarted
+			// instance.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable,
 				client.ErrorResponse{Error: "server is shutting down", Kind: client.KindDraining})
 			return
@@ -205,6 +329,11 @@ func (r *statusRecorder) Flush() {
 func validateDBName(name string) error {
 	if name == "" || len(name) > 128 {
 		return fmt.Errorf("server: database name must be 1-128 characters")
+	}
+	// Names become data-directory components for durable servers, so
+	// the path-traversal names are rejected even though '/' already is.
+	if name == "." || name == ".." {
+		return fmt.Errorf("server: database name %q is reserved", name)
 	}
 	for _, r := range name {
 		if !(r == '-' || r == '_' || r == '.' ||
@@ -269,20 +398,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			}))
 		}
 	}
-	db, err := logres.Open(req.Schema, opts...)
+	db, err := s.Create(name, req.Schema, opts...)
 	if err != nil {
+		if errors.Is(err, ErrExists) {
+			writeError(w, http.StatusConflict,
+				client.ErrorResponse{Error: fmt.Sprintf("database %q already exists", name), Kind: client.KindExists})
+			return
+		}
 		writeEngineError(w, err)
 		return
 	}
-	s.mu.Lock()
-	if _, ok := s.dbs[name]; ok {
-		s.mu.Unlock()
-		writeError(w, http.StatusConflict,
-			client.ErrorResponse{Error: fmt.Sprintf("database %q already exists", name), Kind: client.KindExists})
-		return
-	}
-	s.dbs[name] = db
-	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, s.info(name, db))
 }
 
@@ -295,25 +420,60 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) info(name string, db *logres.Database) client.DBInfo {
-	return client.DBInfo{
+	info := client.DBInfo{
 		Name:    name,
 		Epoch:   db.CommitEpoch(),
 		Rules:   db.RuleCount(),
 		Modules: db.Modules(),
 		Schema:  db.Schema(),
 	}
+	if st, ok := db.Durability(); ok {
+		info.Durability = &client.DurabilityInfo{
+			Fsync:           st.Fsync.String(),
+			Epoch:           st.Epoch,
+			CheckpointEpoch: st.CheckpointEpoch,
+			WALRecords:      st.WALRecords,
+			WALBytes:        st.WALBytes,
+		}
+	}
+	if rec := db.Recovery(); rec != nil {
+		ri := &client.RecoveryInfo{
+			SnapshotEpoch: rec.SnapshotEpoch,
+			Epoch:         rec.Epoch,
+			Replayed:      rec.Replayed,
+			BadSnapshots:  rec.BadSnapshots,
+		}
+		if rec.Tail != nil {
+			ri.TornTail = rec.Tail.Error()
+		}
+		info.Recovery = ri
+	}
+	return info
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	_, ok := s.dbs[name]
+	db, ok := s.dbs[name]
 	delete(s.dbs, name)
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound,
 			client.ErrorResponse{Error: fmt.Sprintf("no database %q", name), Kind: client.KindNotFound})
 		return
+	}
+	// A durable database's directory is parked, not deleted: the WAL is
+	// closed and the directory renamed aside under a timestamped name,
+	// so the drop frees the name immediately while an operator can
+	// still salvage the data.
+	if st, durable := db.Durability(); durable {
+		_ = db.Close()
+		parked := fmt.Sprintf("%s.dropped.%d", st.Dir, time.Now().UnixNano())
+		if err := os.Rename(st.Dir, parked); err != nil {
+			writeError(w, http.StatusInternalServerError,
+				client.ErrorResponse{Error: fmt.Sprintf("parking data directory: %v", err), Kind: client.KindInternal})
+			return
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -385,6 +545,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req client.QueryRequest
 	if !decodeJSON(w, r, &req) {
 		return
+	}
+	if req.AsOf != 0 {
+		// Point-in-time read: reconstruct the committed state at the
+		// requested epoch (checkpoint snapshot + WAL prefix) and query
+		// that. Epochs behind the compaction horizon or ahead of the
+		// present are client errors.
+		past, err := db.AsOf(req.AsOf)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				client.ErrorResponse{Error: err.Error(), Kind: client.KindInvalid})
+			return
+		}
+		db = past
 	}
 	ans, err := db.QueryContext(r.Context(), req.Goal)
 	if err != nil {

@@ -8,12 +8,18 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 
 	"logres/internal/types"
 	"logres/internal/value"
 )
+
+// castagnoli is the CRC32-C polynomial table shared by the snapshot
+// trailer and the WAL record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // value encoding tags
 const (
@@ -30,43 +36,61 @@ const (
 )
 
 type writer struct {
-	w   *bufio.Writer
+	w *bufio.Writer
+	// crc, when non-nil, hashes every byte written — the snapshot codec
+	// uses it to accumulate the integrity trailer without a second pass.
+	crc hash.Hash32
 	err error
 }
 
-func (w *writer) byte(b byte) {
-	if w.err == nil {
-		w.err = w.w.WriteByte(b)
+func (w *writer) raw(p []byte) {
+	if w.err != nil {
+		return
 	}
+	if w.crc != nil {
+		_, _ = w.crc.Write(p)
+	}
+	_, w.err = w.w.Write(p)
+}
+
+func (w *writer) byte(b byte) {
+	buf := [1]byte{b}
+	w.raw(buf[:])
 }
 
 func (w *writer) uvarint(x uint64) {
-	if w.err != nil {
-		return
-	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], x)
-	_, w.err = w.w.Write(buf[:n])
+	w.raw(buf[:n])
 }
 
 func (w *writer) varint(x int64) {
-	if w.err != nil {
-		return
-	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutVarint(buf[:], x)
-	_, w.err = w.w.Write(buf[:n])
+	w.raw(buf[:n])
 }
 
 func (w *writer) str(s string) {
 	w.uvarint(uint64(len(s)))
-	if w.err == nil {
-		_, w.err = w.w.WriteString(s)
+	if w.err != nil {
+		return
 	}
+	if w.crc != nil {
+		_, _ = io.WriteString(w.crc, s)
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+// byteReader is the input the decoding primitives need; *bufio.Reader
+// satisfies it directly, and countingReader wraps one to track the
+// consumed offset and accumulate the integrity checksum.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
 }
 
 type reader struct {
-	r *bufio.Reader
+	r byteReader
 }
 
 func (r *reader) byte() (byte, error) { return r.r.ReadByte() }
@@ -88,6 +112,51 @@ func (r *reader) str() (string, error) {
 		return "", err
 	}
 	return string(buf), nil
+}
+
+// countingReader tracks the byte offset consumed by the decoder (for
+// ErrCorrupt attribution) and, when crc is set, hashes every byte
+// delivered (for the snapshot trailer check). It sits above the bufio
+// layer so read-ahead never pollutes the offset or the checksum.
+type countingReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+	n   int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.n += int64(n)
+		if c.crc != nil {
+			_, _ = c.crc.Write(p[:n])
+		}
+	}
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+		if c.crc != nil {
+			buf := [1]byte{b}
+			_, _ = c.crc.Write(buf[:])
+		}
+	}
+	return b, err
+}
+
+// corrupt wraps err as an *ErrCorrupt at the reader's current offset;
+// an error that is already attributed passes through unchanged.
+func (c *countingReader) corrupt(detail string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*ErrCorrupt); ok {
+		return err
+	}
+	return &ErrCorrupt{Offset: c.n, Detail: detail, Err: err}
 }
 
 func (w *writer) value(v value.Value) {

@@ -39,10 +39,19 @@ type CommitLog struct {
 // NewCommitLog returns a log retaining at most window entries
 // (DefaultCommitLogWindow when window <= 0).
 func NewCommitLog(window int) *CommitLog {
+	return NewCommitLogAt(0, window)
+}
+
+// NewCommitLogAt returns an empty log whose next recorded commit gets
+// epoch+1 — the recovery path uses it so a restarted database continues
+// the epoch sequence its WAL left off at. The validation history starts
+// empty: no optimistic snapshot can predate the restart, so there is
+// nothing to validate against.
+func NewCommitLogAt(epoch uint64, window int) *CommitLog {
 	if window <= 0 {
 		window = DefaultCommitLogWindow
 	}
-	return &CommitLog{epoch: 0, base: 1, window: window}
+	return &CommitLog{epoch: epoch, base: epoch + 1, window: window}
 }
 
 // Epoch returns the epoch of the newest committed write. A snapshot

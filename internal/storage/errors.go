@@ -1,0 +1,65 @@
+package storage
+
+import "fmt"
+
+// ErrCorrupt reports that persisted bytes could not be decoded: a failed
+// integrity check, a truncation mid-structure, or an impossible length.
+// It wraps (never replaces) the underlying error, so callers can still
+// reach io.ErrUnexpectedEOF or a CRC detail with errors.Is/As, and it
+// carries the byte offset at which decoding stopped so a corrupt file is
+// attributable to a position, not just a structure.
+type ErrCorrupt struct {
+	// Offset is the byte offset (from the start of the stream) at which
+	// corruption was detected; -1 when the position is unknown.
+	Offset int64
+	// Detail names the structure being decoded ("schema", "fact set",
+	// "snapshot trailer", …).
+	Detail string
+	// Err is the underlying cause (io.ErrUnexpectedEOF, a checksum
+	// mismatch, a decode error); may be nil for self-evident corruption
+	// such as a bad magic number.
+	Err error
+}
+
+func (e *ErrCorrupt) Error() string {
+	msg := fmt.Sprintf("storage: corrupt data at offset %d: %s", e.Offset, e.Detail)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *ErrCorrupt) Unwrap() error { return e.Err }
+
+// RecoveryError describes a write-ahead-log suffix that could not be
+// replayed during crash recovery: a torn final record (the crash landed
+// mid-append), a bit-flipped record (checksum mismatch), or an epoch
+// discontinuity. Recovery is not aborted by a bad tail — the valid
+// prefix is recovered, the unreadable suffix is preserved in a
+// quarantine file, and this error reports what was set aside. It is
+// fatal (returned as the error of Open) only when no usable state could
+// be reconstructed at all.
+type RecoveryError struct {
+	// Offset is the WAL byte offset of the first unreadable record.
+	Offset int64
+	// Epoch is the last commit epoch recovered before the bad tail.
+	Epoch uint64
+	// Quarantine is the path the unreadable suffix was preserved at
+	// (empty when there were no bytes to preserve or quarantining
+	// itself failed).
+	Quarantine string
+	// Detail describes what was wrong with the record at Offset.
+	Detail string
+	// Err is the underlying decode error, when one exists.
+	Err error
+}
+
+func (e *RecoveryError) Error() string {
+	msg := fmt.Sprintf("storage: recovery stopped at wal offset %d (epoch %d): %s", e.Offset, e.Epoch, e.Detail)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *RecoveryError) Unwrap() error { return e.Err }

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strings"
 
@@ -15,15 +17,23 @@ import (
 // Snapshot format:
 //
 //	magic "LGRS", version byte,
-//	schema, rule text (canonical syntax), fact set, oid counter.
+//	schema, rule text (canonical syntax), fact set, oid counter,
+//	module library sources,
+//	CRC32-C trailer (v3+) over every preceding byte.
+//
+// Corruption — a failed trailer check, truncation mid-structure, a bad
+// magic or version — surfaces as a typed *ErrCorrupt carrying the byte
+// offset, wrapping (not replacing) the underlying io error.
 const (
 	magic   = "LGRS"
-	version = 2 // v2 added the module library section
+	version = 3 // v3 added the CRC32-C integrity trailer
+	// legacyVersion snapshots (no trailer) are still readable.
+	legacyVersion = 2
 )
 
 // SaveState writes a complete database state.
 func SaveState(dst io.Writer, st *module.State) error {
-	w := &writer{w: bufio.NewWriter(dst)}
+	w := &writer{w: bufio.NewWriter(dst), crc: crc32.New(castagnoli)}
 	w.str(magic)
 	w.byte(version)
 	w.schema(st.S)
@@ -46,6 +56,15 @@ func SaveState(dst io.Writer, st *module.State) error {
 	for _, src := range libSources {
 		w.str(src)
 	}
+
+	// Integrity trailer: CRC32-C of everything written so far. The
+	// trailer itself is not hashed.
+	sum := w.crc.Sum32()
+	w.crc = nil
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum)
+	w.raw(trailer[:])
+
 	if w.err != nil {
 		return w.err
 	}
@@ -60,41 +79,78 @@ func writeFactSet(w *writer, fs *engine.FactSet) {
 		w.str(p)
 		w.uvarint(uint64(len(facts)))
 		for _, f := range facts {
-			if f.IsClass {
-				w.byte(1)
-				w.varint(int64(f.OID))
-			} else {
-				w.byte(0)
-			}
-			w.value(f.Tuple)
+			writeFact(w, f)
 		}
 	}
 }
 
-// LoadState reads a database state written by SaveState.
+// writeFact encodes one fact (shared by the snapshot fact-set section
+// and the WAL delta records): class marker (+oid), then the tuple.
+func writeFact(w *writer, f engine.Fact) {
+	if f.IsClass {
+		w.byte(1)
+		w.varint(int64(f.OID))
+	} else {
+		w.byte(0)
+	}
+	w.value(f.Tuple)
+}
+
+// readFact decodes one fact with its predicate already known.
+func readFact(r *reader, pred string) (engine.Fact, error) {
+	isClass, err := r.byte()
+	if err != nil {
+		return engine.Fact{}, err
+	}
+	f := engine.Fact{Pred: pred}
+	if isClass == 1 {
+		f.IsClass = true
+		oid, err := r.varint()
+		if err != nil {
+			return engine.Fact{}, err
+		}
+		f.OID = value.OID(oid)
+	}
+	v, err := r.value()
+	if err != nil {
+		return engine.Fact{}, err
+	}
+	t, ok := v.(value.Tuple)
+	if !ok {
+		return engine.Fact{}, fmt.Errorf("storage: fact payload is not a tuple")
+	}
+	f.Tuple = t
+	return f, nil
+}
+
+// LoadState reads a database state written by SaveState. Decoding
+// failures — short reads, bad tags, a trailer mismatch — surface as a
+// typed *ErrCorrupt attributed to the byte offset where decoding
+// stopped, wrapping the underlying error.
 func LoadState(src io.Reader) (*module.State, error) {
-	r := &reader{r: bufio.NewReader(src)}
+	cr := &countingReader{r: bufio.NewReader(src), crc: crc32.New(castagnoli)}
+	r := &reader{r: cr}
 	m, err := r.str()
 	if err != nil {
-		return nil, err
+		return nil, cr.corrupt("magic", err)
 	}
 	if m != magic {
-		return nil, fmt.Errorf("storage: bad magic %q", m)
+		return nil, &ErrCorrupt{Offset: 0, Detail: fmt.Sprintf("bad magic %q", m)}
 	}
 	v, err := r.byte()
 	if err != nil {
-		return nil, err
+		return nil, cr.corrupt("version", err)
 	}
-	if v != version {
-		return nil, fmt.Errorf("storage: unsupported snapshot version %d", v)
+	if v != version && v != legacyVersion {
+		return nil, &ErrCorrupt{Offset: cr.n, Detail: fmt.Sprintf("unsupported snapshot version %d", v)}
 	}
 	schema, err := r.schema()
 	if err != nil {
-		return nil, err
+		return nil, cr.corrupt("schema", err)
 	}
 	ruleText, err := r.str()
 	if err != nil {
-		return nil, err
+		return nil, cr.corrupt("rule text", err)
 	}
 	st := module.NewState(schema)
 	if strings.TrimSpace(ruleText) != "" {
@@ -106,29 +162,52 @@ func LoadState(src io.Reader) (*module.State, error) {
 	}
 	fs, err := readFactSet(r)
 	if err != nil {
-		return nil, err
+		return nil, cr.corrupt("fact set", err)
 	}
 	st.E = fs
 	counter, err := r.varint()
 	if err != nil {
-		return nil, err
+		return nil, cr.corrupt("oid counter", err)
 	}
 	st.Counter = counter
 
 	nLib, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, cr.corrupt("library", err)
 	}
 	sources := make([]string, 0, nLib)
 	for i := uint64(0); i < nLib; i++ {
 		src, err := r.str()
 		if err != nil {
-			return nil, err
+			return nil, cr.corrupt("library", err)
 		}
 		sources = append(sources, src)
 	}
 	if err := st.Lib.LoadSources(sources); err != nil {
 		return nil, err
+	}
+
+	if v >= version {
+		// The body checksum stops here; the trailer bytes that follow
+		// are read outside the hash comparison.
+		sum := cr.crc.Sum32()
+		var trailer [4]byte
+		if _, err := io.ReadFull(cr, trailer[:]); err != nil {
+			return nil, cr.corrupt("snapshot trailer", err)
+		}
+		if got := binary.LittleEndian.Uint32(trailer[:]); got != sum {
+			return nil, &ErrCorrupt{Offset: cr.n - 4,
+				Detail: fmt.Sprintf("snapshot checksum mismatch: trailer %08x, computed %08x", got, sum)}
+		}
+	} else {
+		// A genuine legacy snapshot ends exactly at the body. Trailing
+		// bytes mean this is a v3 file whose version byte was damaged
+		// into the legacy value — which would silently skip the checksum
+		// — so they are corruption, not slack.
+		if _, err := cr.ReadByte(); err != io.EOF {
+			return nil, &ErrCorrupt{Offset: cr.n,
+				Detail: fmt.Sprintf("trailing data after legacy (v%d) snapshot body", v)}
+		}
 	}
 	return st, nil
 }
@@ -149,28 +228,10 @@ func readFactSet(r *reader) (*engine.FactSet, error) {
 			return nil, err
 		}
 		for j := uint64(0); j < nf; j++ {
-			isClass, err := r.byte()
+			f, err := readFact(r, pred)
 			if err != nil {
 				return nil, err
 			}
-			f := engine.Fact{Pred: pred}
-			if isClass == 1 {
-				f.IsClass = true
-				oid, err := r.varint()
-				if err != nil {
-					return nil, err
-				}
-				f.OID = value.OID(oid)
-			}
-			v, err := r.value()
-			if err != nil {
-				return nil, err
-			}
-			t, ok := v.(value.Tuple)
-			if !ok {
-				return nil, fmt.Errorf("storage: fact payload is not a tuple")
-			}
-			f.Tuple = t
 			fs.Add(f)
 		}
 	}

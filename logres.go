@@ -199,6 +199,12 @@ type Database struct {
 	// footprint at a fresh epoch; ApplyConcurrent validates against the
 	// entries committed since its snapshot.
 	log *storage.CommitLog
+	// store, when non-nil, is the durable half (OpenDurable): every
+	// commit appends one WAL record at its epoch before acknowledging.
+	store *storage.Store
+	// recovery is the report of the recovery that opened this database
+	// (nil for fresh or non-durable databases).
+	recovery *RecoveryReport
 }
 
 // publish freezes the state's extensional facts and installs it as the
@@ -285,7 +291,9 @@ func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode, opti
 	if err != nil {
 		return nil, err
 	}
-	db.commitSerial(res.State)
+	if err := db.commitSerial(res.State); err != nil {
+		return nil, err
+	}
 	return &Result{Answer: res.Answer, Mode: mode}, nil
 }
 
@@ -294,13 +302,21 @@ func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode, opti
 // footprint analysis, so the recorded write set is universal — any
 // optimistic application in flight across this commit conservatively
 // conflicts and retries. Read-only applications (RIDI returns the input
-// state unchanged) record nothing. Callers hold the write lock.
-func (db *Database) commitSerial(next *module.State) {
+// state unchanged) record nothing. On a durable database the commit is
+// WAL-logged (as a whole-state replacement) before it is published; a
+// logging failure fails the commit and leaves the state untouched.
+// Callers hold the write lock.
+func (db *Database) commitSerial(next *module.State) error {
 	if next == db.st {
-		return
+		return nil
+	}
+	if err := db.walAppendReplace(db.log.Epoch()+1, next); err != nil {
+		return err
 	}
 	db.publish(next)
 	db.log.Record(engine.Footprint{Universal: true})
+	db.maybeCompact()
+	return nil
 }
 
 // Query evaluates a goal (`?- lit, … .`) against the current instance —
@@ -393,8 +409,7 @@ func (db *Database) Materialize() error {
 	if err != nil {
 		return err
 	}
-	db.commitSerial(st)
-	return nil
+	return db.commitSerial(st)
 }
 
 // CheckConsistency verifies Definition 4 and the passive constraints
@@ -460,6 +475,9 @@ func (db *Database) Register(src string) error {
 	if err := lib.Register(m); err != nil {
 		return err
 	}
+	if err := db.walAppendRegister(db.log.Epoch()+1, m); err != nil {
+		return err
+	}
 	next := *db.st
 	next.Lib = lib
 	db.st = &next
@@ -488,7 +506,9 @@ func (db *Database) CallContext(ctx context.Context, name string, options ...Cal
 		return nil, err
 	}
 	m, _ := db.st.Lib.Get(name)
-	db.commitSerial(res.State)
+	if err := db.commitSerial(res.State); err != nil {
+		return nil, err
+	}
 	return &Result{Answer: res.Answer, Mode: m.Mode}, nil
 }
 

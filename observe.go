@@ -123,6 +123,9 @@ func (db *Database) Metrics() *Metrics {
 // lock or are the sole owner (Open/Load options).
 func (db *Database) rewireTracer() {
 	db.opts.Tracer = obs.Multi(db.tracer, db.metricsTracer())
+	if db.store != nil {
+		db.store.SetTracer(db.opts.Tracer)
+	}
 }
 
 func (db *Database) metricsTracer() Tracer {
