@@ -132,6 +132,9 @@ type ExecRequest struct {
 	// MaxRetries overrides the database's conflict retry bound for this
 	// request only: 0 = inherit, negative = fail on the first conflict.
 	MaxRetries int `json:"max_retries,omitempty"`
+	// Profile asks the server for an EXPLAIN-ANALYZE-style Profile of
+	// this application in the response.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // ExecResponse is a successful module application.
@@ -143,6 +146,9 @@ type ExecResponse struct {
 	// Epoch is the commit epoch after the application — unchanged for
 	// read-only applications.
 	Epoch uint64 `json:"epoch"`
+	// Profile is the per-request profile when ExecRequest.Profile (or
+	// ?profile=1) asked for one.
+	Profile *Profile `json:"profile,omitempty"`
 }
 
 // Answer is a goal's result: variable names and deduplicated rows of
@@ -165,6 +171,8 @@ type QueryRequest struct {
 	// 0 queries the present). Epochs older than the last compaction
 	// checkpoint are gone and rejected.
 	AsOf uint64 `json:"as_of,omitempty"`
+	// Profile asks the server for a Profile in the query trailer.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // QueryHeader is the first NDJSON line of a query response.
@@ -182,6 +190,83 @@ type QueryChunk struct {
 type QueryTrailer struct {
 	Done  bool `json:"done"`
 	Total int  `json:"total"`
+	// Profile is the per-request profile when QueryRequest.Profile (or
+	// ?profile=1) asked for one.
+	Profile *Profile `json:"profile,omitempty"`
+}
+
+// Profile is the wire form of a per-request profile — the
+// EXPLAIN-ANALYZE-style account the server assembles when a request
+// asks for profiling: where the time went (per-stratum wall clock, WAL
+// sync waits, retry backoff), what the evaluation did (rounds,
+// firings, delta curve, vectorized vs row dispatch), and what the
+// optimistic commit path cost.
+type Profile struct {
+	// RequestID / TraceID identify the request the profile describes
+	// (the X-Request-ID / traceparent values, minted server-side when
+	// the client sent none).
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
+	// WallNS is the whole request's server-side wall clock; EvalNS the
+	// committed evaluation's.
+	WallNS int64 `json:"wall_ns"`
+	EvalNS int64 `json:"eval_ns"`
+	// Rounds and Firings total over the committed attempt; Facts is the
+	// final fact count.
+	Rounds  int `json:"rounds"`
+	Firings int `json:"firings"`
+	Facts   int `json:"facts"`
+	// Strata describes the committed attempt, one entry per stratum.
+	Strata []StratumProfile `json:"strata,omitempty"`
+	// Retries counts optimistic re-evaluations; Conflicts holds one
+	// entry per failed commit validation; BackoffNS is the total
+	// conflict backoff slept.
+	Retries   int               `json:"retries"`
+	Conflicts []ConflictProfile `json:"conflicts,omitempty"`
+	BackoffNS int64             `json:"backoff_ns,omitempty"`
+	// CommitPath is how the winning commit installed its result
+	// ("fast", "merge", "replace", "read-only").
+	CommitPath string `json:"commit_path,omitempty"`
+	// WAL accounting: appended records/bytes and the fsync waits this
+	// request paid for.
+	WALAppends    int   `json:"wal_appends,omitempty"`
+	WALBytes      int64 `json:"wal_bytes,omitempty"`
+	WALSyncs      int   `json:"wal_syncs,omitempty"`
+	WALSyncWaitNS int64 `json:"wal_sync_wait_ns,omitempty"`
+	// Abort carries the abort cause when the request failed mid-flight.
+	Abort string `json:"abort,omitempty"`
+}
+
+// StratumProfile accounts for one stratum of the committed attempt.
+type StratumProfile struct {
+	Stratum int `json:"stratum"`
+	// Mode is the evaluation mode the planner chose; Vectorized flags
+	// the columnar path.
+	Mode       string `json:"mode"`
+	Vectorized bool   `json:"vectorized,omitempty"`
+	Rounds     int    `json:"rounds"`
+	WallNS     int64  `json:"wall_ns"`
+	Firings    int    `json:"firings"`
+	// Delta is the per-round delta curve.
+	Delta []int `json:"delta,omitempty"`
+	// Facts is the fact count when the stratum closed.
+	Facts int `json:"facts"`
+	// Kernels breaks down columnar kernel work (vectorized strata only).
+	Kernels []KernelProfile `json:"kernels,omitempty"`
+}
+
+// KernelProfile is one columnar kernel's aggregate work in one stratum.
+type KernelProfile struct {
+	Kernel string `json:"kernel"`
+	Calls  int    `json:"calls"`
+	Rows   int    `json:"rows"`
+}
+
+// ConflictProfile is one failed optimistic-commit validation.
+type ConflictProfile struct {
+	Attempt    int    `json:"attempt"`
+	Pred       string `json:"pred,omitempty"`
+	Footprints string `json:"footprints,omitempty"`
 }
 
 // InstanceFact is one NDJSON line of GET /v1/db/{name}/instance: a

@@ -204,50 +204,74 @@ func (c *Client) Query(ctx context.Context, name, goal string) (*Answer, error) 
 // to fn as it arrives; it returns the goal's variable names. fn
 // returning an error stops the stream and surfaces that error.
 func (c *Client) QueryStream(ctx context.Context, name string, req QueryRequest, fn func(rows [][]string) error) ([]string, error) {
+	vars, _, err := c.queryStream(ctx, name, req, fn)
+	return vars, err
+}
+
+// QueryProfile evaluates a goal with profiling: it collects the full
+// streamed answer and returns the per-request Profile the server
+// attached to the query trailer.
+func (c *Client) QueryProfile(ctx context.Context, name, goal string) (*Answer, *Profile, error) {
+	ans := &Answer{}
+	vars, trailer, err := c.queryStream(ctx, name, QueryRequest{Goal: goal, Profile: true}, func(rows [][]string) error {
+		ans.Rows = append(ans.Rows, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ans.Vars = vars
+	return ans, trailer.Profile, nil
+}
+
+// queryStream runs the NDJSON query protocol: header line, zero or
+// more chunk lines handed to fn, then the trailer (or an error line in
+// its place).
+func (c *Client) queryStream(ctx context.Context, name string, req QueryRequest, fn func(rows [][]string) error) ([]string, *QueryTrailer, error) {
 	body, err := c.doStream(ctx, http.MethodPost, c.dbURL(name)+"/query", req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer body.Close()
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 
 	if !sc.Scan() {
-		return nil, fmt.Errorf("logres-server: empty query stream: %w", sc.Err())
+		return nil, nil, fmt.Errorf("logres-server: empty query stream: %w", sc.Err())
 	}
 	var header QueryHeader
 	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
-		return nil, &APIError{Resp: ErrorResponse{Error: "malformed query header: " + err.Error(), Kind: KindTransport}}
+		return nil, nil, &APIError{Resp: ErrorResponse{Error: "malformed query header: " + err.Error(), Kind: KindTransport}}
 	}
-	done := false
+	var done *QueryTrailer
 	for sc.Scan() {
 		line := sc.Bytes()
 		var trailer QueryTrailer
 		if err := json.Unmarshal(line, &trailer); err == nil && trailer.Done {
-			done = true
+			done = &trailer
 			break
 		}
 		var streamErr struct {
 			Error *ErrorResponse `json:"error"`
 		}
 		if err := json.Unmarshal(line, &streamErr); err == nil && streamErr.Error != nil {
-			return header.Vars, &APIError{Resp: *streamErr.Error}
+			return header.Vars, nil, &APIError{Resp: *streamErr.Error}
 		}
 		var chunk QueryChunk
 		if err := json.Unmarshal(line, &chunk); err != nil {
-			return header.Vars, &APIError{Resp: ErrorResponse{Error: "malformed query chunk: " + err.Error(), Kind: KindTransport}}
+			return header.Vars, nil, &APIError{Resp: ErrorResponse{Error: "malformed query chunk: " + err.Error(), Kind: KindTransport}}
 		}
 		if err := fn(chunk.Rows); err != nil {
-			return header.Vars, err
+			return header.Vars, nil, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return header.Vars, err
+		return header.Vars, nil, err
 	}
-	if !done {
-		return header.Vars, &APIError{Resp: ErrorResponse{Error: "query stream truncated before trailer", Kind: KindTransport}}
+	if done == nil {
+		return header.Vars, nil, &APIError{Resp: ErrorResponse{Error: "query stream truncated before trailer", Kind: KindTransport}}
 	}
-	return header.Vars, nil
+	return header.Vars, done, nil
 }
 
 // Instance streams the derived instance and collects its facts.
@@ -393,6 +417,14 @@ func (c *Client) do(ctx context.Context, method, url string, in any) (*http.Resp
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Every request carries a fresh trace identity: the server extracts
+	// these into its request span, so slow-query logs, /debug/requests,
+	// trace events, and profiles are attributable to this exact call
+	// (client-side retries get distinct ids, tying each submission to
+	// its own server-side record).
+	traceID, spanID := newTraceIDs()
+	req.Header.Set("traceparent", traceparent(traceID, spanID))
+	req.Header.Set("X-Request-ID", spanID)
 	return c.hc.Do(req)
 }
 

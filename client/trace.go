@@ -1,0 +1,26 @@
+package client
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// newTraceIDs mints one W3C trace-context identity: a 16-byte trace id
+// and an 8-byte parent (span) id, hex-encoded. The span id doubles as
+// the X-Request-ID value, so server logs, trace events, and profiles
+// all key on the same identifier the client holds.
+func newTraceIDs() (traceID, spanID string) {
+	var buf [24]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; a fixed
+		// identity still yields a well-formed traceparent.
+		return "00000000000000000000000000000001", "0000000000000001"
+	}
+	return hex.EncodeToString(buf[:16]), hex.EncodeToString(buf[16:])
+}
+
+// traceparent renders the W3C traceparent header value (version 00,
+// sampled flag set — the server traces every request it profiles).
+func traceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}

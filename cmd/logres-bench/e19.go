@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"logres/client"
+	"logres/internal/bench"
+	"logres/internal/obs"
+	"logres/internal/server"
+)
+
+// E19 — request profiling overhead. The same single-applier exec
+// workload as E16 runs against an in-process server in three
+// observability configurations:
+//
+//	off      — plain requests (spans are still minted: that is the
+//	           always-on propagation path whose cost this measures)
+//	profile  — every request asks for a profile (ExecRequest.Profile),
+//	           so a ProfileCollector fans in beside the metrics adapter
+//	           and the response carries the per-stratum account
+//	slowlog  — the slow-query log is armed with a 1ns threshold and a
+//	           discard writer: every request is collected AND logged,
+//	           the worst case the triage surfaces can impose
+//
+// The off-vs-profile delta is the acceptance criterion: profiling a
+// request must cost noise, not a latency tier.
+
+// e19Config is one observability configuration of the sweep.
+type e19Config struct {
+	name    string
+	profile bool // ask for a profile per request
+	slowlog bool // arm the slow-query log server-side
+}
+
+var e19Configs = []e19Config{
+	{name: "off"},
+	{name: "profile", profile: true},
+	{name: "slowlog", slowlog: true},
+}
+
+// e19Server starts the in-process daemon for one configuration.
+func e19Server(cfg e19Config) (string, *obs.Metrics, func() error, error) {
+	m := obs.NewMetrics()
+	opts := server.Options{Metrics: m}
+	if cfg.slowlog {
+		opts.SlowQueryThreshold = time.Nanosecond
+		opts.SlowQueryLog = io.Discard
+	}
+	srv := server.New(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), m, shutdown, nil
+}
+
+// e19Result carries one configuration's measurements.
+type e19Result struct {
+	elapsed          time.Duration
+	applies          int
+	execP50, execP95 time.Duration
+}
+
+// e19Load drives applies sequential module applications through one
+// client, optionally requesting a profile per exec, and verifies the
+// profile actually arrived (a zero-cost "optimization" that drops the
+// feature would otherwise benchmark beautifully).
+func e19Load(base string, m *obs.Metrics, cfg e19Config, applies int) (*e19Result, error) {
+	c := client.New(base)
+	ctx := context.Background()
+	if err := c.Create(ctx, "bench", e15Schema(), nil); err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Drop(ctx, "bench") }()
+
+	start := time.Now()
+	for i := 0; i < applies; i++ {
+		res, err := c.ExecRequest(ctx, "bench", client.ExecRequest{
+			Module:  e15Module("q1", i),
+			Profile: cfg.profile,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.profile && (res.Profile == nil || res.Profile.Rounds == 0) {
+			return nil, fmt.Errorf("e19: profile requested but response carried %+v", res.Profile)
+		}
+		if !cfg.profile && res.Profile != nil {
+			return nil, fmt.Errorf("e19: unrequested profile on the wire")
+		}
+	}
+	elapsed := time.Since(start)
+
+	execHist := m.Histogram(`logres_http_request_duration_ns{route="exec"}`)
+	return &e19Result{
+		elapsed: elapsed,
+		applies: applies,
+		execP50: time.Duration(execHist.Quantile(0.50)),
+		execP95: time.Duration(execHist.Quantile(0.95)),
+	}, nil
+}
+
+func runE19(quick bool) (*bench.Table, error) {
+	t := &bench.Table{
+		Title:   "E19 — request profiling overhead (exec over loopback HTTP)",
+		Columns: []string{"config", "applies", "time", "ns/op", "exec-p50", "exec-p95", "vs-off"},
+	}
+	applies := 96
+	if quick {
+		applies = 24
+	}
+	var offNs int64
+	for _, cfg := range e19Configs {
+		base, m, shutdown, err := e19Server(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e19Load(base, m, cfg, applies)
+		if err != nil {
+			_ = shutdown()
+			return nil, err
+		}
+		if err := shutdown(); err != nil {
+			return nil, err
+		}
+		nsPerOp := res.elapsed.Nanoseconds() / int64(res.applies)
+		vsOff := "-"
+		if cfg.name == "off" {
+			offNs = nsPerOp
+		} else if offNs > 0 {
+			vsOff = fmt.Sprintf("%+.1f%%", 100*float64(nsPerOp-offNs)/float64(offNs))
+		}
+		t.AddRow(cfg.name, res.applies, res.elapsed, nsPerOp, res.execP50, res.execP95, vsOff)
+	}
+	return t, nil
+}

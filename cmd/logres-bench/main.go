@@ -58,6 +58,7 @@ func main() {
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
 		{"E15", runE15}, {"E16", runE16}, {"E17", runE17}, {"E18", runE18},
+		{"E19", runE19},
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -233,6 +234,34 @@ func runSmoke(path string) error {
 			P50Ns:   res.execP50.Nanoseconds(),
 			P95Ns:   res.execP95.Nanoseconds(),
 			P99Ns:   res.execP99.Nanoseconds(),
+		})
+	}
+
+	// E19 rows: the profiling-overhead pair — the same exec workload
+	// with profiling off, per-request profiles, and the slow-query log
+	// armed. CI compares off vs profile to keep profiling within noise.
+	for _, cfg := range e19Configs {
+		base, m, shutdown, err := e19Server(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := e19Load(base, m, cfg, 24)
+		if err != nil {
+			_ = shutdown()
+			return err
+		}
+		if err := shutdown(); err != nil {
+			return err
+		}
+		results = append(results, smokeResult{
+			Name:    "E19_profile_" + cfg.name,
+			Tracer:  "off",
+			Workers: 1,
+			Shards:  1,
+			Iters:   res.applies,
+			NsPerOp: res.elapsed.Nanoseconds() / int64(res.applies),
+			P50Ns:   res.execP50.Nanoseconds(),
+			P95Ns:   res.execP95.Nanoseconds(),
 		})
 	}
 

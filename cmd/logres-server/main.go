@@ -33,6 +33,17 @@
 //	                   (default 100ms)
 //	-compact-every n   checkpoint + truncate the WAL every n records
 //	                   (default 4096, negative disables)
+//	-slow-query-threshold d  log any data-plane request slower than d as
+//	                   one JSONL line with its request id and full
+//	                   profile (0 disables)
+//	-slow-query-log f  destination for the slow-query JSONL records
+//	                   (default stderr; "-" = stderr explicitly)
+//
+// Probes: GET /healthz answers 200 while the process serves (including
+// during a drain); GET /readyz answers 200 only when the server accepts
+// data-plane traffic — 503 while draining and until -data-dir recovery
+// finished. GET /debug/requests lists the in-flight requests with their
+// request id, route, database, phase, elapsed time, and budget use.
 //
 // Shutdown: on the first signal the server stops accepting data-plane
 // requests (503 kind=draining with a Retry-After hint), waits up to
@@ -71,6 +82,8 @@ type config struct {
 	fsync         logres.FsyncPolicy
 	fsyncInterval time.Duration
 	compactEvery  int
+	slowThreshold time.Duration
+	slowLogPath   string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -90,6 +103,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&fsyncName, "fsync", "always", "WAL sync policy: always | interval | off")
 	fs.DurationVar(&cfg.fsyncInterval, "fsync-interval", 0, "coalescing window under -fsync interval (default 100ms)")
 	fs.IntVar(&cfg.compactEvery, "compact-every", 0, "WAL records between compactions (default 4096, negative disables)")
+	fs.DurationVar(&cfg.slowThreshold, "slow-query-threshold", 0, "log data-plane requests slower than this with their profile (0 disables)")
+	fs.StringVar(&cfg.slowLogPath, "slow-query-log", "", "slow-query JSONL destination (default stderr)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -160,13 +175,26 @@ func preload(cfg *config, srv *server.Server, stderr *os.File) error {
 // Server.Shutdown bounds the in-flight applications by cfg.grace, and
 // the http.Server shutdown closes the listener and idle connections.
 func run(ctx context.Context, cfg *config, ln net.Listener, stderr *os.File) error {
-	srv := server.New(server.Options{
+	opts := server.Options{
 		QueryChunkSize: cfg.chunk,
 		DataDir:        cfg.dataDir,
 		Fsync:          cfg.fsync,
 		FsyncInterval:  cfg.fsyncInterval,
 		CompactEvery:   cfg.compactEvery,
-	})
+	}
+	if cfg.slowThreshold > 0 {
+		opts.SlowQueryThreshold = cfg.slowThreshold
+		opts.SlowQueryLog = stderr
+		if cfg.slowLogPath != "" && cfg.slowLogPath != "-" {
+			f, err := os.OpenFile(cfg.slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			opts.SlowQueryLog = f
+		}
+	}
+	srv := server.New(opts)
 	recovered, err := srv.OpenDataDir()
 	if err != nil {
 		return err

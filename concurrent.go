@@ -99,6 +99,11 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 	opts := applyCallOptions(db.opts, options)
 	db.mu.RUnlock()
 	opts.Ctx = ctx
+	// Request-scoped observability resolves once too: all attempts (and
+	// their commit, conflict, retry, and WAL events) belong to the same
+	// originating request and the same profile.
+	finish := instrumentCall(ctx, &opts, options)
+	defer finish()
 	tracer := opts.Tracer
 
 	maxRetries := opts.Budget.MaxRetries
@@ -127,7 +132,7 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 			hook(attempt)
 		}
 
-		_, path, pred, theirs, ok, err := db.tryCommit(epoch, sr)
+		_, path, pred, theirs, ok, err := db.tryCommit(tracer, epoch, sr)
 		if err != nil {
 			// A WAL failure is not a conflict: the evaluation succeeded
 			// but could not be made durable. No retry — the store
@@ -202,7 +207,10 @@ func retryBackoff(attempt int) time.Duration {
 // On a durable database the commit is WAL-logged before it is
 // published; a logging failure (err != nil) fails the application
 // without a retry — the store refuses further writes until reopened.
-func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *module.State, path, pred string, theirs Footprint, ok bool, err error) {
+// tracer is the applying call's (request-instrumented) tracer, so the
+// WAL append and any fsync wait are attributed to the request that
+// paid for them.
+func (db *Database) tryCommit(tracer Tracer, epoch uint64, sr *module.SnapshotResult) (next *module.State, path, pred string, theirs Footprint, ok bool, err error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 
@@ -218,7 +226,7 @@ func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *mo
 		if db.log.Epoch() != epoch {
 			return nil, "", "*", Footprint{Universal: true}, false, nil
 		}
-		if err := db.walAppendReplace(epoch+1, sr.Res.State); err != nil {
+		if err := db.walAppendReplace(tracer, epoch+1, sr.Res.State); err != nil {
 			return nil, "", "", Footprint{}, false, err
 		}
 		db.publish(sr.Res.State)
@@ -241,7 +249,7 @@ func (db *Database) tryCommit(epoch uint64, sr *module.SnapshotResult) (next *mo
 	// The delta record replays removes-then-adds onto the predecessor
 	// state — exactly what CommitDelta does — so recovery reproduces
 	// next byte for byte on both the fast and merge paths.
-	if err := db.walAppendDelta(db.log.Epoch()+1, sr); err != nil {
+	if err := db.walAppendDelta(tracer, db.log.Epoch()+1, sr); err != nil {
 		return nil, "", "", Footprint{}, false, err
 	}
 	db.publish(next)

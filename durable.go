@@ -195,9 +195,11 @@ func (db *Database) AsOf(epoch uint64) (*Database, error) {
 	return past, nil
 }
 
-// walAppendReplace logs a whole-state replacement commit at epoch.
-// No-op without a store.
-func (db *Database) walAppendReplace(epoch uint64, st *module.State) error {
+// walAppendReplace logs a whole-state replacement commit at epoch. The
+// tracer is the committing call's (request-instrumented when the call
+// runs under a span) so the append and its fsync wait are attributed;
+// nil falls back to the store-wide tracer. No-op without a store.
+func (db *Database) walAppendReplace(t Tracer, epoch uint64, st *module.State) error {
 	if db.store == nil {
 		return nil
 	}
@@ -205,20 +207,20 @@ func (db *Database) walAppendReplace(epoch uint64, st *module.State) error {
 	if err := storage.SaveState(&buf, st); err != nil {
 		return fmt.Errorf("logres: serializing commit for wal: %w", err)
 	}
-	return db.store.Append(&storage.WALRecord{
+	return db.store.AppendWith(t, &storage.WALRecord{
 		Type:  storage.RecReplace,
 		Epoch: epoch,
 		State: buf.Bytes(),
 	})
 }
 
-// walAppendDelta logs an optimistic delta commit at epoch. No-op
-// without a store.
-func (db *Database) walAppendDelta(epoch uint64, sr *module.SnapshotResult) error {
+// walAppendDelta logs an optimistic delta commit at epoch, attributed
+// to the committing call's tracer. No-op without a store.
+func (db *Database) walAppendDelta(t Tracer, epoch uint64, sr *module.SnapshotResult) error {
 	if db.store == nil {
 		return nil
 	}
-	return db.store.Append(&storage.WALRecord{
+	return db.store.AppendWith(t, &storage.WALRecord{
 		Type:         storage.RecDelta,
 		Epoch:        epoch,
 		Writes:       sr.Footprint.Writes,

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden locks the Prometheus text rendering: family
+// ordering, one # TYPE line per family, cumulative le-buckets with the
+// +Inf clamp, quantile convenience samples, and label merging. The
+// fixture uses fixed observations so the output is byte-stable; update
+// with `go test ./internal/obs -run Golden -update` after deliberate
+// format changes.
+func TestExpositionGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("logres_rounds_total").Add(5)
+	m.Counter(`logres_http_responses_total{route="exec",code="200"}`).Add(3)
+	m.Counter(`logres_http_responses_total{route="query",code="200"}`).Add(2)
+	m.Gauge("logres_facts").Set(42)
+
+	h := m.Histogram("logres_round_duration_ns")
+	for _, v := range []int64{1, 500, 1000} {
+		h.Observe(v)
+	}
+	lh := m.Histogram(`logres_http_request_duration_ns{route="exec"}`)
+	lh.Observe(0)
+	lh.Observe(7)
+
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

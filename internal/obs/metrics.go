@@ -108,7 +108,9 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return math.MaxInt64
 }
 
-// Counter returns (registering on first use) the named counter.
+// Counter returns (registering on first use) the named counter. Panics
+// if the name is already registered as a gauge or histogram — a silent
+// shadow would split one name across two exposition types.
 func (m *Metrics) Counter(name string) *Counter {
 	m.mu.RLock()
 	c := m.counters[name]
@@ -119,13 +121,15 @@ func (m *Metrics) Counter(name string) *Counter {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if c = m.counters[name]; c == nil {
+		m.checkUnregisteredLocked(name, "counter")
 		c = &Counter{}
 		m.counters[name] = c
 	}
 	return c
 }
 
-// Gauge returns (registering on first use) the named gauge.
+// Gauge returns (registering on first use) the named gauge. Panics on a
+// name already registered as a counter or histogram.
 func (m *Metrics) Gauge(name string) *Gauge {
 	m.mu.RLock()
 	g := m.gauges[name]
@@ -136,6 +140,7 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if g = m.gauges[name]; g == nil {
+		m.checkUnregisteredLocked(name, "gauge")
 		g = &Gauge{}
 		m.gauges[name] = g
 	}
@@ -143,6 +148,7 @@ func (m *Metrics) Gauge(name string) *Gauge {
 }
 
 // Histogram returns (registering on first use) the named histogram.
+// Panics on a name already registered as a counter or gauge.
 func (m *Metrics) Histogram(name string) *Histogram {
 	m.mu.RLock()
 	h := m.hists[name]
@@ -153,10 +159,29 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if h = m.hists[name]; h == nil {
+		m.checkUnregisteredLocked(name, "histogram")
 		h = &Histogram{}
 		m.hists[name] = h
 	}
 	return h
+}
+
+// checkUnregisteredLocked panics with a clear message when name is
+// already registered under a different metric type. Caller holds the
+// write lock; the map being registered into has already missed.
+func (m *Metrics) checkUnregisteredLocked(name, as string) {
+	var existing string
+	switch {
+	case m.counters[name] != nil:
+		existing = "counter"
+	case m.gauges[name] != nil:
+		existing = "gauge"
+	case m.hists[name] != nil:
+		existing = "histogram"
+	default:
+		return
+	}
+	panic(fmt.Sprintf("obs: metric %q already registered as a %s, cannot re-register as a %s", name, existing, as))
 }
 
 // family splits a metric name into its base name (the TYPE family) and
@@ -168,9 +193,56 @@ func family(name string) string {
 	return name
 }
 
+// splitName splits a metric name into its base family and the bare
+// label body: `h{route="x"}` → ("h", `route="x"`), `h` → ("h", "").
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// sample writes one exposition sample `base+suffix{labels,extra} v`,
+// merging the metric's own labels with sample-level labels (le,
+// quantile) so suffixes land before the label set as the text format
+// requires.
+func sample(b *strings.Builder, base, suffix, labels, extra string, v int64) {
+	b.WriteString(base)
+	b.WriteString(suffix)
+	merged := labels
+	if extra != "" {
+		if merged != "" {
+			merged += ","
+		}
+		merged += extra
+	}
+	if merged != "" {
+		b.WriteString("{")
+		b.WriteString(merged)
+		b.WriteString("}")
+	}
+	fmt.Fprintf(b, " %d\n", v)
+}
+
+// bucketUpper is the inclusive upper bound of log₂ bucket i as a
+// Prometheus le= value: bucket i holds values of bit length i, i.e.
+// [2^(i-1), 2^i - 1].
+func bucketUpper(i int) string {
+	switch {
+	case i == 0:
+		return "0"
+	case i >= 63:
+		return "9223372036854775807"
+	}
+	return fmt.Sprintf("%d", (int64(1)<<i)-1)
+}
+
 // WriteTo renders every metric in Prometheus text exposition format:
-// counters and gauges one sample per name, histograms as summaries with
-// p50/p95/p99 quantile samples plus _sum and _count.
+// counters and gauges one sample per name, histograms with cumulative
+// le-bucket `_bucket` samples (log₂ bucket upper bounds, +Inf = count)
+// so they aggregate across instances, plus the p50/p95/p99 quantile
+// convenience samples and `_sum`/`_count`.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	m.mu.RLock()
 	counters := make(map[string]int64, len(m.counters))
@@ -211,14 +283,37 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		histNames = append(histNames, name)
 	}
 	sort.Strings(histNames)
+	lastFamily := ""
 	for _, name := range histNames {
 		h := hists[name]
-		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
-		for _, q := range []float64{0.5, 0.95, 0.99} {
-			fmt.Fprintf(&b, "%s{quantile=%q} %d\n", name, fmt.Sprintf("%g", q), h.Quantile(q))
+		base, labels := splitName(name)
+		if base != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			lastFamily = base
 		}
-		fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum())
-		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+		// Cumulative le-buckets over the populated log₂ buckets, so
+		// scrapes aggregate across instances; the +Inf bucket equals
+		// the observation count (clamped monotone against racing
+		// observations, which bump the bucket before the count).
+		var cum int64
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			sample(&b, base, "_bucket", labels, fmt.Sprintf("le=%q", bucketUpper(i)), cum)
+		}
+		cnt := h.Count()
+		if cum > cnt {
+			cnt = cum
+		}
+		sample(&b, base, "_bucket", labels, `le="+Inf"`, cnt)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			sample(&b, base, "", labels, fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q)), h.Quantile(q))
+		}
+		sample(&b, base, "_sum", labels, "", h.Sum())
+		sample(&b, base, "_count", labels, "", h.Count())
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err

@@ -174,6 +174,12 @@ type Event struct {
 	Duration time.Duration
 	// Detail is a short free-form annotation (mode names, abort causes).
 	Detail string
+	// Req is the originating request's id when the event was emitted
+	// under a request span (Span.Instrument stamps it); empty for
+	// process-local evaluations. Request identity is not a property of
+	// the evaluation, so Req is excluded from the determinism contract
+	// and stripped by the canonical sink.
+	Req string
 }
 
 // Tracer receives trace events. Implementations must be safe for

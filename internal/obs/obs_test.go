@@ -60,7 +60,9 @@ func TestMetricsPrometheusText(t *testing.T) {
 		`logres_aborts_total{axis="rounds"} 2`,
 		"# TYPE logres_facts gauge",
 		"logres_facts 42",
-		"# TYPE logres_round_duration_ns summary",
+		"# TYPE logres_round_duration_ns histogram",
+		`logres_round_duration_ns_bucket{le="1023"} 1`,
+		`logres_round_duration_ns_bucket{le="+Inf"} 1`,
 		`logres_round_duration_ns{quantile="0.5"}`,
 		"logres_round_duration_ns_sum 1000",
 		"logres_round_duration_ns_count 1",

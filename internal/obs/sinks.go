@@ -29,6 +29,7 @@ type jsonEvent struct {
 	Shard    int    `json:"shard,omitempty"`
 	Duration int64  `json:"duration_ns,omitempty"`
 	Detail   string `json:"detail,omitempty"`
+	Req      string `json:"req,omitempty"`
 }
 
 // JSONL writes one JSON object per event — the machine-readable event
@@ -76,6 +77,7 @@ func (t *JSONL) Event(ev Event) {
 		je.Time = when.UTC().Format(time.RFC3339Nano)
 		je.Workers, je.Shards, je.Shard = ev.Workers, ev.Shards, ev.Shard
 		je.Duration = int64(ev.Duration)
+		je.Req = ev.Req
 	}
 	line, err := json.Marshal(je)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -56,6 +57,16 @@ type Options struct {
 	Fsync         logres.FsyncPolicy
 	FsyncInterval time.Duration
 	CompactEvery  int
+	// SlowQueryThreshold arms the slow-query log: any data-plane request
+	// whose handler runs at least this long is recorded as one JSONL line
+	// (request id, route, database, status, elapsed, full profile) on
+	// SlowQueryLog. Zero disables; arming forces profile collection on
+	// every data-plane request so the offender's record describes the
+	// actual slow execution.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query JSONL records (required for
+	// SlowQueryThreshold to take effect); writes are serialized.
+	SlowQueryLog io.Writer
 }
 
 // ErrExists reports a create against a name that is already
@@ -80,10 +91,18 @@ type Server struct {
 	// starts; inflight tracks the requests already past that gate.
 	draining atomic.Bool
 	inflight sync.WaitGroup
+	// ready gates /readyz: false until the data directory (when the
+	// server has one) finished startup recovery via OpenDataDir.
+	ready atomic.Bool
 	// forceCtx is canceled when the shutdown grace period expires,
 	// aborting in-flight evaluations through their contexts.
 	forceCtx    context.Context
 	forceCancel context.CancelFunc
+
+	// requests is the in-flight request registry behind /debug/requests
+	// and Shutdown's drain report; slow is the slow-query JSONL log.
+	requests *requestRegistry
+	slow     *slowLog
 }
 
 // New builds a server with an empty registry.
@@ -107,7 +126,12 @@ func New(opts Options) *Server {
 		dbs:           map[string]*logres.Database{},
 		forceCtx:      ctx,
 		forceCancel:   cancel,
+		requests:      newRequestRegistry(),
+		slow:          &slowLog{threshold: opts.SlowQueryThreshold, w: opts.SlowQueryLog},
 	}
+	// An in-memory server is ready immediately; a durable one becomes
+	// ready when OpenDataDir finishes replaying its databases.
+	s.ready.Store(opts.DataDir == "")
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -215,6 +239,10 @@ func (s *Server) OpenDataDir(opts ...logres.Option) ([]string, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// Recovery is complete: the server may now pass readiness probes.
+	// On the error return above the flag stays false — /readyz keeps
+	// reporting the instance as recovering.
+	s.ready.Store(true)
 	return names, nil
 }
 
@@ -237,9 +265,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// Name what the drain is stuck on before force-canceling: the
+		// registry still holds the in-flight requests at this instant,
+		// with their live phase and elapsed time.
+		waiting := s.requests.describe(time.Now())
 		s.forceCancel()
 		<-done
 		err = ctx.Err()
+		if waiting != "" {
+			err = fmt.Errorf("server: shutdown grace expired waiting on %s: %w", waiting, ctx.Err())
+		}
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -267,11 +302,22 @@ func (s *Server) routes() {
 	obsMux := obs.NewServeMux(s.metrics)
 	s.mux.Handle("/metrics", obsMux)
 	s.mux.Handle("/debug/", obsMux)
+	// More specific than the obs mux's /debug/ subtree, so the standard
+	// mux routes it here.
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+
+	// Probes bypass the data-plane middleware: liveness must answer
+	// while draining, and neither should mint spans or count toward the
+	// drain.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 }
 
 // dataPlane wraps one route handler with the shared request plumbing:
 // the draining gate, in-flight tracking for Shutdown, the force-cancel
-// context merge, and per-route request/latency/status metrics.
+// context merge, request identity (traceparent / X-Request-ID → span →
+// context), the in-flight registry, the slow-query log, and per-route
+// request/latency/status metrics.
 func (s *Server) dataPlane(route string, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -292,15 +338,34 @@ func (s *Server) dataPlane(route string, h func(http.ResponseWriter, *http.Reque
 		defer cancel()
 		stop := context.AfterFunc(s.forceCtx, cancel)
 		defer stop()
+
+		// Request identity: adopt the client's trace context or mint one,
+		// and carry it as a span so every engine event this request causes
+		// (rounds, kernels, retries, WAL waits) is attributable to it. The
+		// id is echoed back so a client that did not send one can still
+		// correlate with server logs. An armed slow-query log needs the
+		// profile of every request up front — a slow one cannot be
+		// re-profiled after the fact.
+		span := newRequestSpan(r)
+		if s.slow.armed() || r.URL.Query().Get("profile") == "1" {
+			span.EnableProfile()
+		}
+		ctx = obs.ContextWithSpan(ctx, span)
 		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-ID", span.RequestID)
+
+		entry := s.requests.add(span, route, r.PathValue("name"))
+		defer s.requests.remove(entry)
 
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
+		elapsed := time.Since(start)
 		s.metrics.Counter(fmt.Sprintf("logres_http_requests_total{route=%q}", route)).Add(1)
 		s.metrics.Counter(fmt.Sprintf("logres_http_responses_total{route=%q,code=\"%d\"}", route, rec.status)).Add(1)
 		s.metrics.Histogram(fmt.Sprintf("logres_http_request_duration_ns{route=%q}", route)).
-			Observe(time.Since(start).Nanoseconds())
+			Observe(elapsed.Nanoseconds())
+		s.slow.maybeLog(span, route, r.PathValue("name"), rec.status, elapsed)
 	})
 }
 
@@ -516,6 +581,13 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if req.MaxRetries != 0 {
 		callOpts = append(callOpts, logres.WithCallMaxRetries(req.MaxRetries))
 	}
+	// Profiling must be armed before evaluation starts; the middleware
+	// already armed it for ?profile=1 and an armed slow-query log, this
+	// covers the request-body flag.
+	span := obs.SpanFromContext(r.Context())
+	if req.Profile && span != nil {
+		span.EnableProfile()
+	}
 	var res *logres.Result
 	if req.Serial {
 		res, err = db.ApplyContext(r.Context(), m, mode, callOpts...)
@@ -526,11 +598,27 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, client.ExecResponse{
+	resp := client.ExecResponse{
 		Mode:   res.Mode.String(),
 		Answer: answerJSON(res.Answer),
 		Epoch:  db.CommitEpoch(),
-	})
+	}
+	if wantProfile(req.Profile, r) && span != nil {
+		if col := span.Collector(); col != nil {
+			p := col.Profile(time.Since(span.Start))
+			p.RequestID, p.TraceID = span.RequestID, span.TraceID
+			resp.Profile = profileJSON(p)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wantProfile reports whether the response should carry the profile:
+// the request asked in its body or via ?profile=1. (An armed slow-query
+// log collects for every request but does not put profiles on the wire
+// unasked.)
+func wantProfile(bodyFlag bool, r *http.Request) bool {
+	return bodyFlag || r.URL.Query().Get("profile") == "1"
 }
 
 // handleQuery streams the goal's answer as NDJSON: one QueryHeader
@@ -559,10 +647,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		db = past
 	}
+	span := obs.SpanFromContext(r.Context())
+	if req.Profile && span != nil {
+		span.EnableProfile()
+	}
 	ans, err := db.QueryContext(r.Context(), req.Goal)
 	if err != nil {
 		writeEngineError(w, err)
 		return
+	}
+	if span != nil {
+		span.SetPhase("stream")
 	}
 	chunk := req.ChunkSize
 	if chunk <= 0 {
@@ -591,7 +686,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		flush()
 	}
-	_ = enc.Encode(client.QueryTrailer{Done: true, Total: len(rows)})
+	trailer := client.QueryTrailer{Done: true, Total: len(rows)}
+	if wantProfile(req.Profile, r) && span != nil {
+		if col := span.Collector(); col != nil {
+			p := col.Profile(time.Since(span.Start))
+			p.RequestID, p.TraceID = span.RequestID, span.TraceID
+			trailer.Profile = profileJSON(p)
+		}
+	}
+	_ = enc.Encode(trailer)
 	flush()
 }
 

@@ -462,9 +462,21 @@ func (s *Store) newWAL(path string) (*os.File, error) {
 // database write lock, so commits arrive in epoch order). On a write
 // or sync failure the store marks itself failed and refuses further
 // appends — the in-memory commit must not be acknowledged.
-func (s *Store) Append(rec *WALRecord) error {
+func (s *Store) Append(rec *WALRecord) error { return s.AppendWith(nil, rec) }
+
+// AppendWith is Append with this record's wal.append / wal.fsync events
+// routed to t instead of the store-wide tracer — the per-request
+// attribution path. The caller passes its fully fanned per-call tracer
+// (the store-wide tracer is a prefix of it, since the database mirrors
+// its effective tracer into the store), so process-wide sinks still see
+// the events, now stamped with the originating request. t == nil falls
+// back to the store-wide tracer.
+func (s *Store) AppendWith(t obs.Tracer, rec *WALRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if t == nil {
+		t = s.tracer
+	}
 	if s.closed {
 		return fmt.Errorf("storage: store is closed")
 	}
@@ -491,11 +503,11 @@ func (s *Store) Append(rec *WALRecord) error {
 	s.walRecords++
 	s.walBytes += int64(len(frame))
 	s.unsynced = true
-	if err := s.maybeSyncLocked(); err != nil {
+	if err := s.maybeSyncLocked(t); err != nil {
 		s.failed = true
 		return err
 	}
-	s.emit(obs.Event{
+	emitTo(t, obs.Event{
 		Kind:  obs.KindWALAppend,
 		Round: int(rec.Epoch),
 		Pred:  rec.Type.String(),
@@ -505,20 +517,21 @@ func (s *Store) Append(rec *WALRecord) error {
 	return nil
 }
 
-// maybeSyncLocked applies the fsync policy after an append.
-func (s *Store) maybeSyncLocked() error {
+// maybeSyncLocked applies the fsync policy after an append; the fsync
+// event goes to t (the appending call's tracer).
+func (s *Store) maybeSyncLocked(t obs.Tracer) error {
 	switch s.opts.Fsync {
 	case FsyncAlways:
-		return s.syncLocked("always")
+		return s.syncLocked(t, "always")
 	case FsyncInterval:
 		if time.Since(s.lastSync) >= s.opts.FsyncInterval {
-			return s.syncLocked("interval")
+			return s.syncLocked(t, "interval")
 		}
 	}
 	return nil
 }
 
-func (s *Store) syncLocked(why string) error {
+func (s *Store) syncLocked(t obs.Tracer, why string) error {
 	if !s.unsynced {
 		return nil
 	}
@@ -531,7 +544,7 @@ func (s *Store) syncLocked(why string) error {
 	}
 	s.lastSync = time.Now()
 	s.unsynced = false
-	s.emit(obs.Event{Kind: obs.KindWALSync, Duration: time.Since(start), Detail: why})
+	emitTo(t, obs.Event{Kind: obs.KindWALSync, Duration: time.Since(start), Detail: why})
 	return nil
 }
 
@@ -543,7 +556,7 @@ func (s *Store) Sync() error {
 	if s.closed || s.failed {
 		return nil
 	}
-	if err := s.syncLocked("explicit"); err != nil {
+	if err := s.syncLocked(s.tracer, "explicit"); err != nil {
 		s.failed = true
 		return err
 	}
@@ -576,7 +589,7 @@ func (s *Store) Compact(st *module.State, epoch uint64) error {
 	start := time.Now()
 	// Make everything the snapshot supersedes durable first, so a crash
 	// mid-compaction can always recover from the old snapshot + full log.
-	if err := s.syncLocked("explicit"); err != nil {
+	if err := s.syncLocked(s.tracer, "explicit"); err != nil {
 		s.failed = true
 		return err
 	}
@@ -798,7 +811,7 @@ func (s *Store) Close() error {
 	s.closed = true
 	var err error
 	if !s.failed {
-		err = s.syncLocked("explicit")
+		err = s.syncLocked(s.tracer, "explicit")
 	}
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
@@ -806,8 +819,10 @@ func (s *Store) Close() error {
 	return err
 }
 
-func (s *Store) emit(ev obs.Event) {
-	if s.tracer != nil {
-		s.tracer.Event(ev)
+func (s *Store) emit(ev obs.Event) { emitTo(s.tracer, ev) }
+
+func emitTo(t obs.Tracer, ev obs.Event) {
+	if t != nil {
+		t.Event(ev)
 	}
 }

@@ -287,11 +287,13 @@ func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode, opti
 	defer db.mu.Unlock()
 	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
+	finish := instrumentCall(ctx, &opts, options)
+	defer finish()
 	res, err := module.Apply(db.st, m, mode, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.commitSerial(res.State); err != nil {
+	if err := db.commitSerial(opts.Tracer, res.State); err != nil {
 		return nil, err
 	}
 	return &Result{Answer: res.Answer, Mode: mode}, nil
@@ -305,12 +307,14 @@ func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode, opti
 // state unchanged) record nothing. On a durable database the commit is
 // WAL-logged (as a whole-state replacement) before it is published; a
 // logging failure fails the commit and leaves the state untouched.
-// Callers hold the write lock.
-func (db *Database) commitSerial(next *module.State) error {
+// Callers hold the write lock; t is the committing call's tracer (for
+// WAL attribution — pass db.opts.Tracer when no per-call tracer
+// exists).
+func (db *Database) commitSerial(t Tracer, next *module.State) error {
 	if next == db.st {
 		return nil
 	}
-	if err := db.walAppendReplace(db.log.Epoch()+1, next); err != nil {
+	if err := db.walAppendReplace(t, db.log.Epoch()+1, next); err != nil {
 		return err
 	}
 	db.publish(next)
@@ -336,6 +340,8 @@ func (db *Database) QueryContext(ctx context.Context, goalSrc string, options ..
 	defer db.mu.RUnlock()
 	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
+	finish := instrumentCall(ctx, &opts, options)
+	defer finish()
 	res, err := module.Apply(db.st, m, ast.RIDI, opts)
 	if err != nil {
 		return nil, err
@@ -409,7 +415,7 @@ func (db *Database) Materialize() error {
 	if err != nil {
 		return err
 	}
-	return db.commitSerial(st)
+	return db.commitSerial(db.opts.Tracer, st)
 }
 
 // CheckConsistency verifies Definition 4 and the passive constraints
@@ -501,12 +507,14 @@ func (db *Database) CallContext(ctx context.Context, name string, options ...Cal
 	}
 	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
+	finish := instrumentCall(ctx, &opts, options)
+	defer finish()
 	res, err := db.st.Lib.Call(db.st, name, opts)
 	if err != nil {
 		return nil, err
 	}
 	m, _ := db.st.Lib.Get(name)
-	if err := db.commitSerial(res.State); err != nil {
+	if err := db.commitSerial(opts.Tracer, res.State); err != nil {
 		return nil, err
 	}
 	return &Result{Answer: res.Answer, Mode: m.Mode}, nil

@@ -1,8 +1,10 @@
 package logres
 
 import (
+	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"logres/internal/engine"
 	"logres/internal/obs"
@@ -135,6 +137,21 @@ func (db *Database) metricsTracer() Tracer {
 	return db.metrics.Tracer()
 }
 
+// Profile is the EXPLAIN-ANALYZE-style account of one call: per-stratum
+// wall time, rule firings and delta curve, vectorized-vs-row dispatch
+// with kernel breakdowns, optimistic retry count with conflict
+// footprints, and WAL append/fsync waits. Request WithCallProfile, or
+// the server's ?profile=1 / ExecRequest.Profile over the wire.
+type Profile = obs.Profile
+
+// StratumProfile, KernelProfile, and ConflictProfile are the component
+// records of a Profile.
+type (
+	StratumProfile  = obs.StratumProfile
+	KernelProfile   = obs.KernelProfile
+	ConflictProfile = obs.ConflictProfile
+)
+
 // CallOption adjusts one Exec/Query/Apply/Call invocation without
 // touching the database-wide configuration.
 type CallOption func(*callOpts)
@@ -144,6 +161,9 @@ type callOpts struct {
 	// maxRetries overrides (not tightens) the retry bound: negative
 	// disables retries, which Tighten cannot express.
 	maxRetries int
+	// profile is the WithCallProfile destination; non-nil arms a
+	// per-call profile collector.
+	profile *Profile
 }
 
 // WithCallBudget tightens the database-wide budget for one call: each
@@ -162,6 +182,15 @@ func WithCallBudget(b Budget) CallOption {
 // "fail fast" needs to express the negative case.
 func WithCallMaxRetries(n int) CallOption {
 	return func(c *callOpts) { c.maxRetries = n }
+}
+
+// WithCallProfile arms profile collection for one call and copies the
+// assembled Profile into dst before the call returns (on error paths
+// dst holds whatever was collected up to the failure, including the
+// abort cause). Profiling fans a collector into the call's tracer, so
+// calls without it keep the nil-tracer fast path.
+func WithCallProfile(dst *Profile) CallOption {
+	return func(c *callOpts) { c.profile = dst }
 }
 
 // applyCallOptions folds per-call options into a copy of the engine
@@ -183,4 +212,57 @@ func applyCallOptions(opts engine.Options, cos []CallOption) engine.Options {
 		opts.Budget.MaxRetries = c.maxRetries
 	}
 	return opts
+}
+
+// callProfileDst extracts the WithCallProfile destination from a call's
+// options (nil when profiling was not requested).
+func callProfileDst(cos []CallOption) *Profile {
+	var c callOpts
+	for _, o := range cos {
+		o(&c)
+	}
+	return c.profile
+}
+
+// instrumentCall fans request-scoped observability into one call's
+// resolved engine options: the context's span (stamping every event the
+// call emits — eval rounds, vec kernels, conflict retries, WAL
+// append/fsync waits — with the originating request id) and a profile
+// collector when WithCallProfile asked for one. Returns a finish func
+// the call must run before returning (defer it; it finalizes the
+// profile). With no span in the context and no profile request, both
+// the options and the finish func are no-ops — the nil-tracer fast
+// path and the canonical trace stream are untouched.
+func instrumentCall(ctx context.Context, opts *engine.Options, cos []CallOption) func() {
+	var span *obs.Span
+	if ctx != nil {
+		span = obs.SpanFromContext(ctx)
+	}
+	dst := callProfileDst(cos)
+	if span == nil && dst == nil {
+		return func() {}
+	}
+	var col *obs.ProfileCollector
+	if dst != nil {
+		col = obs.NewProfileCollector()
+	}
+	start := time.Now()
+	tr := opts.Tracer
+	if col != nil {
+		tr = obs.Multi(tr, col)
+	}
+	if span != nil {
+		tr = span.Instrument(tr)
+	}
+	opts.Tracer = tr
+	return func() {
+		if col == nil {
+			return
+		}
+		p := col.Profile(time.Since(start))
+		if span != nil {
+			p.RequestID, p.TraceID = span.RequestID, span.TraceID
+		}
+		*dst = *p
+	}
 }
