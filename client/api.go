@@ -10,6 +10,7 @@
 //	POST   /v1/db/{name}/query    evaluate a goal (QueryRequest → NDJSON stream)
 //	GET    /v1/db/{name}/instance stream the derived instance (NDJSON)
 //	POST   /v1/db/{name}/register store a named module (RegisterRequest)
+//	POST   /v1/db/{name}/subscribe live view diffs (SubscribeRequest → NDJSON stream)
 //
 // Errors carry a JSON ErrorResponse body whose Kind mirrors the
 // engine's typed errors: optimistic commit conflicts map to 409 with
@@ -44,6 +45,9 @@ type DBOptions struct {
 	MaxRetries int `json:"max_retries,omitempty"`
 	// Budget bounds every evaluation (logres.WithBudget).
 	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Incremental maintains the derived instance across commits
+	// (logres.WithIncremental), enabling the subscribe endpoint.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // BudgetSpec is the wire form of logres.Budget.
@@ -69,6 +73,9 @@ type DBInfo struct {
 	Modules []string `json:"modules,omitempty"`
 	// Schema renders the current schema in LOGRES syntax.
 	Schema string `json:"schema,omitempty"`
+	// Incremental reports whether the database maintains its derived
+	// instance incrementally (live subscriptions available).
+	Incremental bool `json:"incremental,omitempty"`
 	// Durability summarizes the database's write-ahead log; nil for an
 	// in-memory database.
 	Durability *DurabilityInfo `json:"durability,omitempty"`
@@ -282,6 +289,48 @@ type RegisterRequest struct {
 	Module string `json:"module"`
 }
 
+// SubscribeRequest opens a live view subscription under
+// POST /v1/db/{name}/subscribe (incremental databases only). The
+// response is a long-lived NDJSON stream: one SubscribeHeader line,
+// then one DiffEvent line per state-changing commit epoch, in order
+// with no gaps. The stream ends with an {"error": …} line when the
+// subscription is torn down server-side (slow consumer, maintenance
+// failure, server drain); a client that just hangs up gets no line.
+type SubscribeRequest struct {
+	// Preds restricts diffs to these predicates (empty = all); epochs
+	// still arrive as empty DiffEvents when nothing subscribed changed.
+	Preds []string `json:"preds,omitempty"`
+	// Buffer is the server-side diff buffer (<= 0 selects the server
+	// default). A commit finding it full disconnects the subscription
+	// with a "slow_consumer" error line.
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// SubscribeHeader is the first NDJSON line of a subscription: the
+// commit epoch the subscription is pinned at (the first DiffEvent, if
+// any commit follows, carries Epoch+1) and the canonicalized predicate
+// filter.
+type SubscribeHeader struct {
+	Epoch uint64   `json:"epoch"`
+	Preds []string `json:"preds,omitempty"`
+}
+
+// DiffFact is one changed fact of a DiffEvent, rendered in LOGRES
+// syntax like an InstanceFact.
+type DiffFact struct {
+	Pred string `json:"pred"`
+	Fact string `json:"fact"`
+}
+
+// DiffEvent is one NDJSON line of a subscription stream: the exact
+// fact-level difference of the derived instance across one commit
+// epoch, each side sorted.
+type DiffEvent struct {
+	Epoch   uint64     `json:"epoch"`
+	Adds    []DiffFact `json:"adds,omitempty"`
+	Removes []DiffFact `json:"removes,omitempty"`
+}
+
 // FootprintJSON is the wire form of a predicate-level access set
 // (conflict error bodies carry both sides' footprints).
 type FootprintJSON struct {
@@ -304,6 +353,11 @@ const (
 	KindInternal  = "internal"  // 500: server-side storage failure
 	KindDraining  = "draining"  // 503: server is shutting down
 	KindTransport = "transport" // client-side: malformed response
+	// KindSlowConsumer ends a subscription stream whose consumer could
+	// not keep up with the commit rate (the server-side buffer
+	// overflowed); resubscribe with a larger SubscribeRequest.Buffer or
+	// drain faster.
+	KindSlowConsumer = "slow_consumer"
 )
 
 // ErrorResponse is the JSON body of every non-2xx data-plane response.

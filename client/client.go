@@ -306,6 +306,65 @@ func (c *Client) Register(ctx context.Context, name, module string) error {
 	return c.doJSON(ctx, http.MethodPost, c.dbURL(name)+"/register", RegisterRequest{Module: module}, nil)
 }
 
+// Subscribe opens a live view subscription and blocks, handing every
+// per-epoch DiffEvent to fn as it arrives; it returns the
+// SubscribeHeader naming the commit epoch the subscription is pinned
+// at. The call ends when the server tears the subscription down (a
+// "slow_consumer" or "draining" *APIError), when fn returns an error
+// (surfaced verbatim), or when ctx is canceled (the usual way to
+// unsubscribe client-side — the stream's error is suppressed in favor
+// of ctx.Err()). Requires a database created with
+// DBOptions.Incremental.
+func (c *Client) Subscribe(ctx context.Context, name string, req SubscribeRequest, fn func(DiffEvent) error) (*SubscribeHeader, error) {
+	body, err := c.doStream(ctx, http.MethodPost, c.dbURL(name)+"/subscribe", req)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+
+	if !sc.Scan() {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("logres-server: empty subscription stream: %w", sc.Err())
+	}
+	var streamErr struct {
+		Error *ErrorResponse `json:"error"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &streamErr); err == nil && streamErr.Error != nil {
+		return nil, &APIError{Resp: *streamErr.Error}
+	}
+	var header SubscribeHeader
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		return nil, &APIError{Resp: ErrorResponse{Error: "malformed subscribe header: " + err.Error(), Kind: KindTransport}}
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		streamErr.Error = nil
+		if err := json.Unmarshal(line, &streamErr); err == nil && streamErr.Error != nil {
+			return &header, &APIError{Resp: *streamErr.Error}
+		}
+		var ev DiffEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return &header, &APIError{Resp: ErrorResponse{Error: "malformed diff event: " + err.Error(), Kind: KindTransport}}
+		}
+		if err := fn(ev); err != nil {
+			return &header, err
+		}
+	}
+	// A canceled context tears the connection down mid-read; report the
+	// cancellation, not the transport debris it caused.
+	if ctx.Err() != nil {
+		return &header, ctx.Err()
+	}
+	if err := sc.Err(); err != nil {
+		return &header, err
+	}
+	return &header, nil
+}
+
 // ---------------------------------------------------------------------------
 // Transport.
 // ---------------------------------------------------------------------------

@@ -58,7 +58,7 @@ func main() {
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
 		{"E15", runE15}, {"E16", runE16}, {"E17", runE17}, {"E18", runE18},
-		{"E19", runE19},
+		{"E19", runE19}, {"E20", runE20},
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -264,6 +264,15 @@ func runSmoke(path string) error {
 			P95Ns:   res.execP95.Nanoseconds(),
 		})
 	}
+
+	// E20 rows: incremental maintenance vs from-scratch recomputation on
+	// the write-heavy commit+read stream — the artifact's record of the
+	// maintained view's speedup.
+	e20Rows, err := e20SmokeRows()
+	if err != nil {
+		return err
+	}
+	results = append(results, e20Rows...)
 
 	out, err := json.MarshalIndent(map[string]any{"suite": "tracer-overhead", "results": results}, "", "  ")
 	if err != nil {

@@ -2,8 +2,10 @@ package logres
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	"logres/internal/engine"
 	"logres/internal/guard"
 	"logres/internal/hooks"
 	"logres/internal/module"
@@ -122,9 +124,20 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 		db.mu.RLock()
 		st := db.st
 		epoch := db.log.Epoch()
+		deferOK := db.maintDeferUsable()
 		db.mu.RUnlock()
 
-		sr, err := module.ApplySnapshot(st, m, mode, opts)
+		// Deferred validation (view.go): when the maintainer can audit the
+		// committed instance incrementally, skip the from-scratch instance
+		// computation inside the snapshot application — tryCommit stages
+		// the propagation and validates before the commit lands.
+		var sr *module.SnapshotResult
+		var err error
+		if deferOK {
+			sr, err = module.ApplySnapshotDeferred(st, m, mode, opts)
+		} else {
+			sr, err = module.ApplySnapshot(st, m, mode, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +145,7 @@ func (db *Database) ApplyConcurrentContext(ctx context.Context, m *Module, mode 
 			hook(attempt)
 		}
 
-		_, path, pred, theirs, ok, err := db.tryCommit(tracer, epoch, sr)
+		_, path, pred, theirs, ok, err := db.tryCommit(opts, epoch, sr)
 		if err != nil {
 			// A WAL failure is not a conflict: the evaluation succeeded
 			// but could not be made durable. No retry — the store
@@ -207,10 +220,12 @@ func retryBackoff(attempt int) time.Duration {
 // On a durable database the commit is WAL-logged before it is
 // published; a logging failure (err != nil) fails the application
 // without a retry — the store refuses further writes until reopened.
-// tracer is the applying call's (request-instrumented) tracer, so the
-// WAL append and any fsync wait are attributed to the request that
-// paid for them.
-func (db *Database) tryCommit(tracer Tracer, epoch uint64, sr *module.SnapshotResult) (next *module.State, path, pred string, theirs Footprint, ok bool, err error) {
+// opts is the applying call's (request-instrumented) configuration: its
+// tracer attributes the WAL append and any fsync wait to the request
+// that paid for them, and deferred-validation fallbacks validate under
+// the call's own budget.
+func (db *Database) tryCommit(opts engine.Options, epoch uint64, sr *module.SnapshotResult) (next *module.State, path, pred string, theirs Footprint, ok bool, err error) {
+	tracer := opts.Tracer
 	db.mu.Lock()
 	defer db.mu.Unlock()
 
@@ -229,9 +244,11 @@ func (db *Database) tryCommit(tracer Tracer, epoch uint64, sr *module.SnapshotRe
 		if err := db.walAppendReplace(tracer, epoch+1, sr.Res.State); err != nil {
 			return nil, "", "", Footprint{}, false, err
 		}
+		prev := db.st
 		db.publish(sr.Res.State)
 		db.log.Record(Footprint{Universal: true})
 		db.maybeCompact()
+		db.maintAfterReplace(tracer, prev)
 		return sr.Res.State, "replace", "", Footprint{}, true, nil
 	}
 	if p, their, valid := db.log.Validate(epoch, sr.Footprint); !valid {
@@ -246,6 +263,45 @@ func (db *Database) tryCommit(tracer Tracer, epoch uint64, sr *module.SnapshotRe
 		// current committed state.
 		next, path = module.CommitDelta(db.st, sr), "merge"
 	}
+	if sr.Deferred {
+		// The snapshot application skipped its instance validation; stage
+		// the propagation through the maintainer and audit the maintained
+		// instance before the commit lands. On the merge path this audits
+		// the actually committed state, not just the snapshot result.
+		if db.maintDeferUsable() {
+			start := time.Now()
+			vd, rollback, uerr := db.maint.UpdateStaged(sr.Adds, sr.Removes, next.E, next.Counter)
+			if uerr == nil {
+				if verr := db.maintValidate(next.S, vd); verr != nil {
+					rollback()
+					return nil, "", "", Footprint{}, false, fmt.Errorf("module: rejected: %w", verr)
+				}
+				if err := db.walAppendDelta(tracer, db.log.Epoch()+1, sr); err != nil {
+					rollback()
+					return nil, "", "", Footprint{}, false, err
+				}
+				db.publish(next)
+				db.log.Record(Footprint{Writes: sr.Footprint.Writes})
+				db.maybeCompact()
+				ep := db.log.Epoch()
+				if tracer != nil {
+					tracer.Event(obs.Event{Kind: obs.KindIVMPropagate, Stratum: -1, Round: int(ep),
+						Count: len(vd.Adds) + len(vd.Removes), Total: db.maint.Full().TotalSize(),
+						Duration: time.Since(start)})
+				}
+				db.notifySubs(tracer, ep, vd)
+				return next, path, "", Footprint{}, true, nil
+			}
+			// Propagation failed: the maintainer is inconsistent; validate
+			// the scratch way below and let maintAfterDelta rebuild it.
+			db.maintErr = uerr
+		}
+		// Staging unavailable (the maintainer went unhealthy since the
+		// snapshot): validate from scratch under the lock — rare.
+		if _, _, verr := next.Instance(opts); verr != nil {
+			return nil, "", "", Footprint{}, false, fmt.Errorf("module: rejected: %w", verr)
+		}
+	}
 	// The delta record replays removes-then-adds onto the predecessor
 	// state — exactly what CommitDelta does — so recovery reproduces
 	// next byte for byte on both the fast and merge paths.
@@ -255,6 +311,7 @@ func (db *Database) tryCommit(tracer Tracer, epoch uint64, sr *module.SnapshotRe
 	db.publish(next)
 	db.log.Record(Footprint{Writes: sr.Footprint.Writes})
 	db.maybeCompact()
+	db.maintAfterDelta(tracer, sr.Adds, sr.Removes)
 	return next, path, "", Footprint{}, true, nil
 }
 

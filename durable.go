@@ -106,6 +106,12 @@ func OpenDurable(schemaSrc string, d Durability, options ...Option) (*Database, 
 	db.recovery = rec
 	store.SetTracer(db.opts.Tracer)
 	db.publish(st)
+	// Maintenance state is derived, not persisted: recovery rebuilds it
+	// from the recovered (E, R, S) by recomputation, so the maintained
+	// set is byte-identical to a cold from-scratch evaluation.
+	if err := db.maintInit(); err != nil {
+		return nil, nil, err
+	}
 	return db, rec, nil
 }
 

@@ -156,6 +156,61 @@ rules
   tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
 end.
 `)
+	// Deletion-heavy commit sequences (modules separated by "---") so the
+	// incremental leg's DRed delete/rederive path is fuzzed from
+	// generation zero: parallel support paths where removing one edge must
+	// rederive the closure facts the other still supports, then removing
+	// the second genuinely deletes them.
+	f.Add(fuzzSchemas[1], `
+mode ridv.
+rules
+  edge(src: 1, dst: 2).
+  edge(src: 2, dst: 4).
+  edge(src: 1, dst: 3).
+  edge(src: 3, dst: 4).
+end.
+---
+mode radv.
+rules
+  tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+  tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+end.
+---
+mode rddv.
+rules
+  edge(src: 1, dst: 2).
+end.
+---
+mode rddv.
+rules
+  edge(src: 3, dst: 4).
+  edge(src: 2, dst: 4).
+end.
+`)
+	f.Add(fuzzSchemas[1], `
+mode radv.
+rules
+  tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+  tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+end.
+---
+mode ridv.
+rules
+  edge(src: 1, dst: 2).
+  edge(src: 2, dst: 3).
+  edge(src: 3, dst: 1).
+end.
+---
+mode rddv.
+rules
+  edge(src: 2, dst: 3).
+end.
+---
+mode ridv.
+rules
+  edge(src: 2, dst: 3).
+end.
+`)
 	f.Fuzz(func(t *testing.T, schemaSrc, modSrc string) {
 		db, err := Open(schemaSrc, WithBudget(fuzzBudget))
 		if err != nil {
@@ -165,37 +220,78 @@ end.
 		if errv != nil {
 			t.Fatalf("vectorized open diverged: %v", errv)
 		}
-		var before strings.Builder
-		if err := db.Save(&sb2{&before}); err != nil {
-			t.Fatalf("save: %v", err)
+		dbi, erri := Open(schemaSrc, WithBudget(fuzzBudget), WithIncremental(true))
+		if erri != nil {
+			t.Fatalf("incremental open diverged: %v", erri)
 		}
-		_, errRow := db.Exec(modSrc)
-		_, errVec := dbv.Exec(modSrc)
-		if errRow != nil {
-			// A failed application (parse error, rejection, or budget
-			// abort) must leave the database bit-identical.
-			var after strings.Builder
-			if err := db.Save(&sb2{&after}); err != nil {
-				t.Fatalf("save after abort: %v", err)
+		// The source is a commit sequence: modules separated by "---"
+		// lines apply in order (a plain module is a one-commit sequence),
+		// so mutations explore incremental maintenance across deltas, not
+		// just single applications.
+		for _, modSrc := range strings.Split(modSrc, "\n---\n") {
+			var before strings.Builder
+			if err := db.Save(&sb2{&before}); err != nil {
+				t.Fatalf("save: %v", err)
 			}
-			if before.String() != after.String() {
-				t.Fatalf("failed application mutated the database")
+			_, errRow := db.Exec(modSrc)
+			_, errVec := dbv.Exec(modSrc)
+			_, errInc := dbi.Exec(modSrc)
+			if errRow != nil {
+				// A failed application (parse error, rejection, or budget
+				// abort) must leave the database bit-identical.
+				var after strings.Builder
+				if err := db.Save(&sb2{&after}); err != nil {
+					t.Fatalf("save after abort: %v", err)
+				}
+				if before.String() != after.String() {
+					t.Fatalf("failed application mutated the database")
+				}
+				return
 			}
-			return
-		}
-		// When both engines accept the module, the persisted state must be
-		// byte-identical. (Success can legitimately differ only through the
-		// wall-clock budget axis, so a one-sided abort is not comparable.)
-		if errVec == nil {
-			var row, vec strings.Builder
+			// When the engines agree on acceptance, the persisted state
+			// must be byte-identical. (Success can legitimately differ
+			// only through the wall-clock budget axis, so a one-sided
+			// abort is not comparable.)
+			var row strings.Builder
 			if err := db.Save(&sb2{&row}); err != nil {
 				t.Fatalf("save row: %v", err)
 			}
-			if err := dbv.Save(&sb2{&vec}); err != nil {
-				t.Fatalf("save vectorized: %v", err)
+			if errVec == nil {
+				var vec strings.Builder
+				if err := dbv.Save(&sb2{&vec}); err != nil {
+					t.Fatalf("save vectorized: %v", err)
+				}
+				if row.String() != vec.String() {
+					t.Fatalf("row and vectorized evaluation persisted different databases")
+				}
 			}
-			if row.String() != vec.String() {
-				t.Fatalf("row and vectorized evaluation persisted different databases")
+			if errInc == nil {
+				var inc strings.Builder
+				if err := dbi.Save(&sb2{&inc}); err != nil {
+					t.Fatalf("save incremental: %v", err)
+				}
+				if row.String() != inc.String() {
+					t.Fatalf("incremental application persisted a different database")
+				}
+				// The maintained instance must render exactly what a
+				// from-scratch evaluation of the same state renders.
+				want, errW := db.InstanceString()
+				got, errG := dbi.InstanceString()
+				if errW == nil && errG == nil && want != got {
+					t.Fatalf("incremental instance diverged from from-scratch replay")
+				}
+			} else {
+				// Acceptance may only diverge through wall-clock budget
+				// aborts; a rejected application still must not have
+				// mutated the incremental database's committed state.
+				var inc strings.Builder
+				if err := dbi.Save(&sb2{&inc}); err != nil {
+					t.Fatalf("save incremental after abort: %v", err)
+				}
+				if inc.String() != before.String() {
+					t.Fatalf("failed incremental application mutated the database")
+				}
+				return
 			}
 		}
 		_, _ = db.Query(`?- parent(par: X).`)

@@ -750,6 +750,18 @@ func (p *Program) Run(f0 *FactSet, counter *int64) (*FactSet, error) {
 // stratum, round, and resource counts. The input fact set is never
 // mutated, so an aborted evaluation leaves the caller's state intact.
 func (p *Program) RunContext(ctx context.Context, f0 *FactSet, counter *int64) (*FactSet, error) {
+	return p.RunFrom(ctx, 0, f0, counter)
+}
+
+// RunFrom is RunContext starting at stratum index from: the strata below
+// from are taken as already materialized inside f0, and only the strata
+// at index ≥ from are evaluated on top of it. The incremental maintainer
+// uses it to recompute the ineligible suffix of a stratification over an
+// incrementally maintained prefix; RunFrom(ctx, 0, f0, counter) is
+// exactly RunContext. A from beyond the last stratum evaluates nothing
+// (the oid counter is still clamped to f0's maximum oid, as every run
+// does before its first stratum).
+func (p *Program) RunFrom(ctx context.Context, from int, f0 *FactSet, counter *int64) (*FactSet, error) {
 	p.stats = newStats()
 	p.stats.Strata = len(p.strata)
 	p.stats.Workers = p.opts.Workers
@@ -757,7 +769,7 @@ func (p *Program) RunContext(ctx context.Context, f0 *FactSet, counter *int64) (
 	p.guard = guard.New(ctx, p.opts.Budget, f0.TotalSize())
 	p.traceEvalBegin(f0)
 	start := p.traceNow()
-	f, err := p.runGuarded(f0, counter)
+	f, err := p.runGuarded(from, f0, counter)
 	if err != nil {
 		p.stats.recordAbort(err)
 		p.traceAbort(err)
@@ -767,7 +779,7 @@ func (p *Program) RunContext(ctx context.Context, f0 *FactSet, counter *int64) (
 	return f, nil
 }
 
-func (p *Program) runGuarded(f0 *FactSet, counter *int64) (*FactSet, error) {
+func (p *Program) runGuarded(from int, f0 *FactSet, counter *int64) (*FactSet, error) {
 	// An upfront check so a canceled context or exceeded deadline aborts
 	// even a run with no strata (a rule-free program never reaches a
 	// per-round check).
@@ -784,7 +796,8 @@ func (p *Program) runGuarded(f0 *FactSet, counter *int64) (*FactSet, error) {
 		*counter = m
 	}
 	f := f0.Clone()
-	for i, stratum := range p.strata {
+	for i := from; i < len(p.strata); i++ {
+		stratum := p.strata[i]
 		p.guard.SetStratum(i)
 		var err error
 		if p.opts.SemiNaive && stratumSemiNaiveEligible(stratum) {

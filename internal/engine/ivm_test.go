@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"logres/internal/value"
+)
+
+// Engine-level differential tests of the incremental maintainer: after
+// every committed base delta the maintained full set must equal a
+// from-scratch evaluation of the same program over the same base, and
+// the reported ViewDelta must be exactly the difference between the
+// previous and the next full set.
+
+func ivmEdge(a, b int) Fact {
+	return Fact{Pred: "edge", Tuple: value.NewTuple(
+		value.Field{Label: "src", Value: value.Int(int64(a))},
+		value.Field{Label: "dst", Value: value.Int(int64(b))},
+	)}
+}
+
+func ivmNode(n int) Fact {
+	return Fact{Pred: "node", Tuple: value.NewTuple(
+		value.Field{Label: "n", Value: value.Int(int64(n))},
+	)}
+}
+
+const ivmSchema = `
+associations
+  NODE = (n: integer);
+  EDGE = (src: integer, dst: integer);
+  TC = (src: integer, dst: integer);
+  SAME = (a: integer, b: integer);
+  UNREACH = (a: integer, b: integer);
+`
+
+// ivmPrograms pairs a rule set with the maintenance split it must get.
+var ivmPrograms = []struct {
+	name       string
+	rules      string
+	wantPrefix int // eligible strata
+	wantTotal  int
+}{
+	{
+		// One non-recursive stratum: counting, with two rules deriving
+		// overlapping facts (per-fact support counts above 1).
+		name: "counting",
+		rules: `
+same(a: X, b: Y) <- edge(src: X, dst: Y), edge(src: Y, dst: X).
+same(a: X, b: X) <- node(n: X).
+`,
+		wantPrefix: 1,
+		wantTotal:  1,
+	},
+	{
+		// Recursive closure: DRed delete/rederive.
+		name: "closure",
+		rules: `
+tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+`,
+		wantPrefix: 1,
+		wantTotal:  1,
+	},
+	{
+		// Eligible closure prefix plus a negation stratum, which is
+		// ineligible and recomputed as the suffix.
+		name: "mixed-fallback",
+		rules: `
+tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+unreach(a: X, b: Y) <- node(n: X), node(n: Y), not tc(src: X, dst: Y).
+`,
+		wantPrefix: 1,
+		wantTotal:  2,
+	},
+}
+
+// randomCommit mutates the master base set and returns the *net* delta
+// it applied — disjoint add and remove sets, the shape a commit's
+// removes-then-adds replay carries.
+func randomCommit(r *rand.Rand, base *FactSet, n int) (adds, removes []Fact) {
+	pre := base.Clone()
+	steps := r.Intn(4) + 1
+	for i := 0; i < steps; i++ {
+		f := ivmEdge(r.Intn(n), r.Intn(n))
+		if r.Intn(3) == 0 {
+			f = ivmNode(r.Intn(n))
+		}
+		// Deletion-heavy: half the steps try to remove.
+		if r.Intn(2) == 0 && base.Has(f) {
+			base.Remove(f)
+		} else {
+			base.Add(f)
+		}
+	}
+	for _, p := range base.Preds() {
+		for _, f := range base.Facts(p) {
+			if !pre.Has(f) {
+				adds = append(adds, f)
+			}
+		}
+	}
+	for _, p := range pre.Preds() {
+		for _, f := range pre.Facts(p) {
+			if !base.Has(f) {
+				removes = append(removes, f)
+			}
+		}
+	}
+	return adds, removes
+}
+
+func TestMaintainerDifferential(t *testing.T) {
+	for _, tc := range ivmPrograms {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			maintProg, err := tryBuild(ivmSchema, tc.rules, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratchProg, err := tryBuild(ivmSchema, tc.rules, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 6; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				n := 6
+				base := randomEdgeFacts(n, 10, seed)
+				for i := 0; i < n; i++ {
+					base.Add(ivmNode(i))
+				}
+				e0 := base.Clone()
+				e0.Freeze()
+				m, err := NewMaintainer(maintProg, e0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prefix, total := m.EligibleStrata(); prefix != tc.wantPrefix || total != tc.wantTotal {
+					t.Fatalf("eligible strata = %d/%d, want %d/%d", prefix, total, tc.wantPrefix, tc.wantTotal)
+				}
+				for commit := 0; commit < 12; commit++ {
+					adds, removes := randomCommit(r, base, n)
+					newE := base.Clone()
+					newE.Freeze()
+					prevFull := m.Full()
+					vd, err := m.Update(adds, removes, newE, 0)
+					if err != nil {
+						t.Fatalf("seed %d commit %d: %v", seed, commit, err)
+					}
+					var c int64
+					scratch, err := scratchProg.Run(base, &c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !m.Full().Equal(scratch) {
+						t.Fatalf("seed %d commit %d: incremental full set diverged from scratch", seed, commit)
+					}
+					if got, want := m.Counter(), c; got != want {
+						t.Fatalf("seed %d commit %d: counter %d, want %d", seed, commit, got, want)
+					}
+					// ViewDelta exactness: old full + delta == new full.
+					replay := prevFull.Clone()
+					for _, f := range vd.Removes {
+						if !replay.Remove(f) {
+							t.Fatalf("seed %d commit %d: delta removes absent fact %s", seed, commit, f)
+						}
+					}
+					for _, f := range vd.Adds {
+						if !replay.Add(f) {
+							t.Fatalf("seed %d commit %d: delta adds present fact %s", seed, commit, f)
+						}
+					}
+					if !replay.Equal(m.Full()) {
+						t.Fatalf("seed %d commit %d: ViewDelta does not reproduce the new full set", seed, commit)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMaintainerDeleteRederive pins the DRed rederivation case: removing
+// one of two parallel support paths must keep the closure fact alive.
+func TestMaintainerDeleteRederive(t *testing.T) {
+	prog, err := tryBuild(ivmSchema, `
+tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+`, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewFactSet()
+	// Two paths 0→3: via 1 and via 2.
+	for _, e := range [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}} {
+		base.Add(ivmEdge(e[0], e[1]))
+	}
+	e0 := base.Clone()
+	e0.Freeze()
+	m, err := NewMaintainer(prog, e0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc03 := Fact{Pred: "tc", Tuple: value.NewTuple(
+		value.Field{Label: "src", Value: value.Int(0)},
+		value.Field{Label: "dst", Value: value.Int(3)},
+	)}
+	if !m.Full().Has(tc03) {
+		t.Fatal("closure fact missing before delete")
+	}
+	// Remove the 0→1→3 path: tc(0,3) must survive via 0→2→3, and the
+	// delta must not report it as removed.
+	base.Remove(ivmEdge(0, 1))
+	newE := base.Clone()
+	newE.Freeze()
+	vd, err := m.Update(nil, []Fact{ivmEdge(0, 1)}, newE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Full().Has(tc03) {
+		t.Fatal("closure fact lost despite a surviving support path")
+	}
+	for _, f := range vd.Removes {
+		if f.Key() == tc03.Key() {
+			t.Fatal("ViewDelta reports the rederived fact as removed")
+		}
+	}
+	// Remove the second path: now it must go.
+	base.Remove(ivmEdge(2, 3))
+	newE = base.Clone()
+	newE.Freeze()
+	vd, err = m.Update(nil, []Fact{ivmEdge(2, 3)}, newE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Full().Has(tc03) {
+		t.Fatal("closure fact survived with no support path")
+	}
+	found := false
+	for _, f := range vd.Removes {
+		if f.Key() == tc03.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ViewDelta misses the genuinely deleted fact")
+	}
+}
+
+// TestMaintainerIneligible pins the fallback classification: oid
+// invention and deletions force the suffix from stratum zero.
+func TestMaintainerIneligible(t *testing.T) {
+	const schema = `
+classes
+  PERSON = (name: string);
+associations
+  P = (n: integer);
+`
+	for _, rules := range []string{
+		"person(name: \"x\") <- p(n: X).",  // invention
+		"not p(n: X) <- p(n: X), X > 3.",   // deletion head
+	} {
+		prog, err := tryBuild(schema, rules, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewFactSet()
+		e.Add(Fact{Pred: "p", Tuple: value.NewTuple(value.Field{Label: "n", Value: value.Int(1)})})
+		e.Freeze()
+		m, err := NewMaintainer(prog, e, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prefix, _ := m.EligibleStrata(); prefix != 0 {
+			t.Fatalf("rules %q: eligible prefix = %d, want 0", rules, prefix)
+		}
+		// The degenerate maintainer must still track the full set.
+		var c int64
+		scratch, err := prog.Run(e, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Full().Equal(scratch) {
+			t.Fatal("cached full set diverged from scratch")
+		}
+	}
+}

@@ -89,6 +89,29 @@ func (in *Instance) CheckConsistency() error {
 	return errors.Join(errs...)
 }
 
+// CheckTuple audits one association tuple against the schema in
+// isolation — the per-tuple fragment of CheckConsistency's clause (ρ).
+// When the schema declares no classes, clause (ρ) is the only one with
+// content and it decomposes per tuple (typing is local and there is no
+// referential state a deletion could invalidate), so a caller that
+// already knows the rest of the instance is consistent can audit a
+// commit by checking just the added tuples.
+func (in *Instance) CheckTuple(assoc string, t value.Tuple) error {
+	eff, err := in.schema.EffectiveTuple(assoc)
+	if err != nil {
+		return err
+	}
+	proj := Project(t, eff)
+	if err := in.schema.CheckValue(eff, proj, types.NilForbidden); err != nil {
+		return fmt.Errorf("instance: tuple of %s: %v", assoc, err)
+	}
+	var errs []error
+	in.checkRefs(assoc, eff, proj, false, func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("instance: "+format, args...))
+	})
+	return errors.Join(errs...)
+}
+
 // checkRefs walks a typed value and verifies that every class-typed
 // position references an existing object of that class (or is nil when
 // nilOK holds).

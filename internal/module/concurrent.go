@@ -33,6 +33,10 @@ type SnapshotResult struct {
 	// state (rule/schema changes): valid only when nothing committed
 	// since the snapshot.
 	Replace bool
+	// Deferred marks an application whose final instance validation was
+	// skipped (ApplyDeferred): the committer must audit consistency and
+	// the passive constraints before installing the state.
+	Deferred bool
 }
 
 // ApplySnapshot applies m to the snapshot state st and packages the
@@ -40,15 +44,34 @@ type SnapshotResult struct {
 // fact set frozen, never mutated (Apply's clone discipline guarantees
 // the application itself cannot touch it).
 func ApplySnapshot(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (*SnapshotResult, error) {
+	return applySnapshot(st, m, mode, opts, false)
+}
+
+// ApplySnapshotDeferred is ApplySnapshot with deferred validation when
+// the application is eligible (CanDeferValidation — exactly the
+// delta-committing applications): the result carries Deferred=true and
+// the committer must audit the new state before installing it.
+// Ineligible applications validate inside Apply as usual.
+func ApplySnapshotDeferred(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (*SnapshotResult, error) {
+	return applySnapshot(st, m, mode, opts, true)
+}
+
+func applySnapshot(st *State, m *ast.Module, mode ast.Mode, opts engine.Options, allowDefer bool) (*SnapshotResult, error) {
 	fp, err := StaticFootprint(st, m, mode, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := Apply(st, m, mode, opts)
+	deferred := allowDefer && CanDeferValidation(st, m, mode)
+	var res *Result
+	if deferred {
+		res, err = ApplyDeferred(st, m, mode, opts)
+	} else {
+		res, err = Apply(st, m, mode, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	sr := &SnapshotResult{Res: res, Footprint: *fp}
+	sr := &SnapshotResult{Res: res, Footprint: *fp, Deferred: deferred}
 	switch mode {
 	case ast.RIDI:
 		sr.ReadOnly = true
@@ -57,18 +80,10 @@ func ApplySnapshot(st *State, m *ast.Module, mode ast.Mode, opts engine.Options)
 		sr.Replace = true
 		return sr, nil
 	}
-	schemaChanged := m.Schema != nil && (len(m.Schema.Names()) > 0 || len(m.Schema.IsaEdges()) > 0)
-	rulesChanged := false
-	switch mode {
-	case ast.RADV:
-		rulesChanged = len(m.Rules) > 0
-	case ast.RDDV:
-		// RDDV subtracts R_M from R; when none of the module's rules are
-		// in the persistent store only E shrinks, and the fact delta
-		// commits like any other data change.
-		rulesChanged = subtractionChangesRules(st.R, m.Rules)
-	}
-	if schemaChanged || rulesChanged {
+	// Schema- or rule-changing data variants replace the whole state;
+	// the remaining applications — exactly the deferral-eligible ones —
+	// commit as fact deltas.
+	if !CanDeferValidation(st, m, mode) {
 		sr.Replace = true
 		return sr, nil
 	}

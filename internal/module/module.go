@@ -127,13 +127,76 @@ func Apply(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (_ *Res
 	case ast.RDDI:
 		return applyRuleChange(st, m, opts, false)
 	case ast.RIDV:
-		return applyDataVariant(st, m, opts, ast.RIDV)
+		return applyDataVariant(st, m, opts, ast.RIDV, false)
 	case ast.RADV:
-		return applyDataVariant(st, m, opts, ast.RADV)
+		return applyDataVariant(st, m, opts, ast.RADV, false)
 	case ast.RDDV:
-		return applyDataVariant(st, m, opts, ast.RDDV)
+		return applyDataVariant(st, m, opts, ast.RDDV, false)
 	}
 	return nil, fmt.Errorf("module: unknown mode %v", mode)
+}
+
+// CanDeferValidation reports whether applying m to st with mode is
+// eligible for deferred validation: a data-variant application that
+// changes neither the schema nor the persistent rules, so the new
+// state differs from st only in (E, Counter). For such applications a
+// caller maintaining the derived instance incrementally can skip the
+// from-scratch instance computation inside Apply and audit consistency
+// itself at commit time (ApplyDeferred). The predicate agrees exactly
+// with the delta/Replace split of ApplySnapshot: eligible applications
+// are the ones that would take the delta path.
+func CanDeferValidation(st *State, m *ast.Module, mode ast.Mode) bool {
+	switch mode {
+	case ast.RIDV, ast.RADV, ast.RDDV:
+	default:
+		return false
+	}
+	if m.Schema != nil && (len(m.Schema.Names()) > 0 || len(m.Schema.IsaEdges()) > 0) {
+		return false
+	}
+	switch mode {
+	case ast.RADV:
+		if len(m.Rules) > 0 {
+			return false
+		}
+	case ast.RDDV:
+		if subtractionChangesRules(st.R, m.Rules) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyDeferred is Apply with the final instance validation skipped:
+// the Result carries the new state but a nil Instance, and the caller
+// is responsible for verifying Definition 4 consistency and the
+// passive constraints against the new state before committing it. Only
+// legal when CanDeferValidation holds for the same arguments.
+func ApplyDeferred(st *State, m *ast.Module, mode ast.Mode, opts engine.Options) (_ *Result, err error) {
+	defer shieldPanic(&err)
+	if t := opts.Tracer; t != nil {
+		t.Event(obs.Event{Kind: obs.KindModuleBegin, Pred: m.Name, Detail: mode.String(),
+			Count: len(m.Rules)})
+		start := time.Now()
+		defer func() {
+			ev := obs.Event{Kind: obs.KindModuleEnd, Pred: m.Name, Detail: mode.String(),
+				Duration: time.Since(start)}
+			if err != nil {
+				ev.Detail = mode.String() + ": " + err.Error()
+			}
+			t.Event(ev)
+		}()
+	}
+	if !CanDeferValidation(st, m, mode) {
+		return nil, fmt.Errorf("module: mode %s application is not eligible for deferred validation", mode)
+	}
+	if !mode.HasGoal() && len(m.Goal) > 0 {
+		return nil, fmt.Errorf("module: mode %s does not admit a goal (§4.1)", mode)
+	}
+	if m.NonInflationary {
+		opts.NonInflationary = true
+	}
+	return applyDataVariant(st, m, opts, mode, true)
 }
 
 // ApplyDeclared applies the module with its declared mode (RIDI when none
@@ -216,8 +279,10 @@ func applyRuleChange(st *State, m *ast.Module, opts engine.Options, add bool) (*
 // applyDataVariant — the three EDB-updating modes. E1 is computed by
 // applying the update rules R_M to E0 (with the active constraints
 // generated from the schema); the persistent rules evolve per mode. No
-// goal answer is provided (§4.1).
-func applyDataVariant(st *State, m *ast.Module, opts engine.Options, mode ast.Mode) (*Result, error) {
+// goal answer is provided (§4.1). With deferValidation the final
+// instance computation and audit are skipped (Result.Instance is nil)
+// and the caller must validate before committing.
+func applyDataVariant(st *State, m *ast.Module, opts engine.Options, mode ast.Mode, deferValidation bool) (*Result, error) {
 	next := st.Clone()
 	var s1 *types.Schema
 	var err error
@@ -274,6 +339,9 @@ func applyDataVariant(st *State, m *ast.Module, opts engine.Options, mode ast.Mo
 	}
 	next.S = s1
 
+	if deferValidation {
+		return &Result{State: next}, nil
+	}
 	_, in, err := next.Instance(opts)
 	if err != nil {
 		return nil, fmt.Errorf("module: rejected: %w", err)

@@ -415,5 +415,16 @@ func (t metricsTracer) Event(ev Event) {
 	case KindWALCompact:
 		m.Counter("logres_wal_compactions_total").Add(1)
 		m.Histogram("logres_wal_compact_duration_ns").Observe(int64(ev.Duration))
+	case KindIVMPropagate:
+		m.Counter("logres_ivm_propagations_total").Add(1)
+		m.Counter("logres_ivm_delta_facts_total").Add(int64(ev.Count))
+		m.Histogram("logres_ivm_propagate_duration_ns").Observe(int64(ev.Duration))
+		m.Gauge("logres_ivm_facts").Set(int64(ev.Total))
+	case KindIVMRebuild:
+		m.Counter("logres_ivm_rebuilds_total").Add(1)
+		m.Histogram("logres_ivm_rebuild_duration_ns").Observe(int64(ev.Duration))
+	case KindSubEmit:
+		m.Counter("logres_sub_emits_total").Add(int64(ev.Count))
+		m.Counter("logres_sub_slow_drops_total").Add(int64(ev.Total))
 	}
 }

@@ -124,6 +124,22 @@ const (
 	// epoch, Count = WAL records truncated away, Duration = the
 	// compaction wall-clock. Nondeterministic.
 	KindWALCompact Kind = "wal.compact"
+	// KindIVMPropagate reports one incremental view-maintenance
+	// propagation after a commit: Round = the commit epoch (truncated to
+	// int), Count = derived facts that changed (adds + removes), Total =
+	// the full derived set size afterwards, Duration = the propagation
+	// wall-clock. Nondeterministic: present only with incremental
+	// maintenance enabled and dependent on commit interleaving.
+	KindIVMPropagate Kind = "ivm.propagate"
+	// KindIVMRebuild reports one full recomputation of the maintenance
+	// state (construction, whole-state replacement, or fallback after a
+	// propagation error): Round = the commit epoch, Detail = the reason,
+	// Duration = the rebuild wall-clock. Nondeterministic.
+	KindIVMRebuild Kind = "ivm.rebuild"
+	// KindSubEmit reports one fan-out of a commit's view diff to live
+	// subscriptions: Round = the commit epoch, Count = subscribers
+	// delivered to, Total = slow subscribers dropped. Nondeterministic.
+	KindSubEmit Kind = "sub.emit"
 )
 
 // Deterministic reports whether events of this kind are part of the
@@ -132,7 +148,8 @@ const (
 func (k Kind) Deterministic() bool {
 	switch k {
 	case KindMerge, KindGuardCheck, KindModuleCommit, KindModuleConflict, KindModuleRetry,
-		KindParallelDispatch, KindWALAppend, KindWALSync, KindWALRecover, KindWALCompact:
+		KindParallelDispatch, KindWALAppend, KindWALSync, KindWALRecover, KindWALCompact,
+		KindIVMPropagate, KindIVMRebuild, KindSubEmit:
 		return false
 	}
 	return true

@@ -98,6 +98,11 @@ type Server struct {
 	// aborting in-flight evaluations through their contexts.
 	forceCtx    context.Context
 	forceCancel context.CancelFunc
+	// subsCtx is canceled the moment shutdown starts: live subscription
+	// streams are open-ended, so they end at drain entry (not at grace
+	// expiry) or Shutdown's inflight wait could never finish.
+	subsCtx    context.Context
+	subsCancel context.CancelFunc
 
 	// requests is the in-flight request registry behind /debug/requests
 	// and Shutdown's drain report; slow is the slow-query JSONL log.
@@ -116,6 +121,7 @@ func New(opts Options) *Server {
 		chunk = DefaultQueryChunkSize
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	subsCtx, subsCancel := context.WithCancel(context.Background())
 	s := &Server{
 		metrics:       m,
 		chunkSize:     chunk,
@@ -126,6 +132,8 @@ func New(opts Options) *Server {
 		dbs:           map[string]*logres.Database{},
 		forceCtx:      ctx,
 		forceCancel:   cancel,
+		subsCtx:       subsCtx,
+		subsCancel:    subsCancel,
 		requests:      newRequestRegistry(),
 		slow:          &slowLog{threshold: opts.SlowQueryThreshold, w: opts.SlowQueryLog},
 	}
@@ -256,6 +264,9 @@ func (s *Server) OpenDataDir(opts ...logres.Option) ([]string, error) {
 // clean shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Subscriptions end now, not at grace expiry: their handlers count
+	// toward the in-flight drain but would otherwise stream forever.
+	s.subsCancel()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -298,6 +309,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/db/{name}/query", s.dataPlane("query", s.handleQuery))
 	s.mux.Handle("GET /v1/db/{name}/instance", s.dataPlane("instance", s.handleInstance))
 	s.mux.Handle("POST /v1/db/{name}/register", s.dataPlane("register", s.handleRegister))
+	s.mux.Handle("POST /v1/db/{name}/subscribe", s.dataPlane("subscribe", s.handleSubscribe))
 
 	obsMux := obs.NewServeMux(s.metrics)
 	s.mux.Handle("/metrics", obsMux)
@@ -462,6 +474,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 				Timeout:   b.Timeout(),
 			}))
 		}
+		if o.Incremental {
+			opts = append(opts, logres.WithIncremental(true))
+		}
 	}
 	db, err := s.Create(name, req.Schema, opts...)
 	if err != nil {
@@ -486,11 +501,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) info(name string, db *logres.Database) client.DBInfo {
 	info := client.DBInfo{
-		Name:    name,
-		Epoch:   db.CommitEpoch(),
-		Rules:   db.RuleCount(),
-		Modules: db.Modules(),
-		Schema:  db.Schema(),
+		Name:        name,
+		Epoch:       db.CommitEpoch(),
+		Rules:       db.RuleCount(),
+		Modules:     db.Modules(),
+		Schema:      db.Schema(),
+		Incremental: db.Incremental(),
 	}
 	if st, ok := db.Durability(); ok {
 		info.Durability = &client.DurabilityInfo{
@@ -742,6 +758,94 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSubscribe serves a live view subscription as a long-lived
+// NDJSON stream: a SubscribeHeader line pinning the start epoch, then
+// one DiffEvent line per state-changing commit, flushed as it lands.
+// The stream ends with an {"error": …} line when the server tears the
+// subscription down — backpressure disconnect ("slow_consumer"),
+// maintenance failure ("internal"), or shutdown ("draining") — and
+// silently when the client hangs up.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.SubscribeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sub, err := db.SubscribeView(logres.SubscribeOptions{Preds: req.Preds, Buffer: req.Buffer})
+	if err != nil {
+		if errors.Is(err, logres.ErrNotIncremental) {
+			writeError(w, http.StatusBadRequest,
+				client.ErrorResponse{Error: err.Error(), Kind: client.KindInvalid})
+			return
+		}
+		writeEngineError(w, err)
+		return
+	}
+	defer sub.Close()
+
+	if span := obs.SpanFromContext(r.Context()); span != nil {
+		span.SetPhase("stream")
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeErrLine := func(resp client.ErrorResponse) {
+		_ = enc.Encode(struct {
+			Error client.ErrorResponse `json:"error"`
+		}{resp})
+		flush()
+	}
+	if err := enc.Encode(client.SubscribeHeader{Epoch: sub.Epoch, Preds: req.Preds}); err != nil {
+		return
+	}
+	flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.subsCtx.Done():
+			writeErrLine(client.ErrorResponse{Error: "server is shutting down", Kind: client.KindDraining})
+			return
+		case d, open := <-sub.C:
+			if !open {
+				switch err := sub.Err(); {
+				case err == nil:
+				default:
+					kind := client.KindInternal
+					var slow *logres.SlowConsumerError
+					if errors.As(err, &slow) {
+						kind = client.KindSlowConsumer
+					}
+					writeErrLine(client.ErrorResponse{Error: err.Error(), Kind: kind})
+				}
+				return
+			}
+			ev := client.DiffEvent{Epoch: d.Epoch, Adds: diffFacts(d.Adds), Removes: diffFacts(d.Removes)}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			flush()
+		}
+	}
+}
+
+// diffFacts renders one side of a ViewDiff for the wire.
+func diffFacts(fs []logres.Fact) []client.DiffFact {
+	out := make([]client.DiffFact, len(fs))
+	for i, f := range fs {
+		out[i] = client.DiffFact{Pred: f.Pred, Fact: f.String()}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

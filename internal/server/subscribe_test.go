@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"logres"
+	"logres/client"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *Server) testDB(name string) *logres.Database {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dbs[name]
+}
+
+// TestSubscribeStreamsDiffs drives the live-subscription round trip
+// through the real client: header pins the start epoch, every
+// state-changing commit delivers exactly one DiffEvent in epoch order
+// (including the empty diff of a rule-only commit), and canceling the
+// context unsubscribes.
+func TestSubscribeStreamsDiffs(t *testing.T) {
+	s, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreate(t, c, "test", &client.DBOptions{Incremental: true})
+	if info, err := c.Info(ctx, "test"); err != nil || !info.Incremental {
+		t.Fatalf("Info = %+v, %v (want incremental)", info, err)
+	}
+
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	events := make(chan client.DiffEvent, 16)
+	done := make(chan error, 1)
+	var header *client.SubscribeHeader
+	go func() {
+		h, err := c.Subscribe(subCtx, "test", client.SubscribeRequest{}, func(ev client.DiffEvent) error {
+			events <- ev
+			return nil
+		})
+		header = h
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.testDB("test").Subscribers() == 1 })
+
+	// Commit 1: install a derivation rule — state-changing, but with no
+	// p facts the derived instance is unchanged: an empty diff.
+	if _, err := c.Exec(ctx, "test", "mode radv.\nrules\n  q(x: X) <- p(x: X).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Commit 2: a base fact plus its derived consequence.
+	if _, err := c.Exec(ctx, "test", "mode ridv.\nrules\n  p(x: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Commit 3: deletion — both facts leave the instance.
+	if _, err := c.Exec(ctx, "test", "mode rddv.\nrules\n  p(x: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []client.DiffEvent
+	for len(got) < 3 {
+		select {
+		case ev := <-events:
+			got = append(got, ev)
+		case err := <-done:
+			t.Fatalf("subscription ended early: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out with %d events", len(got))
+		}
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Subscribe after cancel = %v, want context.Canceled", err)
+	}
+	if header == nil || header.Epoch != 0 {
+		t.Fatalf("header = %+v, want epoch 0", header)
+	}
+	for i, ev := range got {
+		if ev.Epoch != uint64(i)+1 {
+			t.Fatalf("event %d epoch = %d, want %d", i, ev.Epoch, i+1)
+		}
+	}
+	if len(got[0].Adds) != 0 || len(got[0].Removes) != 0 {
+		t.Fatalf("rule-only commit diff = %+v, want empty", got[0])
+	}
+	wantAdds := map[string]bool{"p": true, "q": true}
+	if len(got[1].Adds) != 2 || len(got[1].Removes) != 0 {
+		t.Fatalf("insert diff = %+v", got[1])
+	}
+	for _, f := range got[1].Adds {
+		if !wantAdds[f.Pred] || !strings.Contains(f.Fact, "x: 1") {
+			t.Fatalf("insert diff add = %+v", f)
+		}
+	}
+	if len(got[2].Adds) != 0 || len(got[2].Removes) != 2 {
+		t.Fatalf("delete diff = %+v", got[2])
+	}
+}
+
+// TestSubscribePredFilter: a predicate-filtered subscription still gets
+// every epoch but only the subscribed facts.
+func TestSubscribePredFilter(t *testing.T) {
+	s, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreate(t, c, "test", &client.DBOptions{Incremental: true})
+	if _, err := c.Exec(ctx, "test", "mode radv.\nrules\n  q(x: X) <- p(x: X).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	events := make(chan client.DiffEvent, 16)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Subscribe(subCtx, "test", client.SubscribeRequest{Preds: []string{"q"}}, func(ev client.DiffEvent) error {
+			events <- ev
+			return nil
+		})
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.testDB("test").Subscribers() == 1 })
+	if _, err := c.Exec(ctx, "test", "mode ridv.\nrules\n  p(x: 7).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if len(ev.Adds) != 1 || ev.Adds[0].Pred != "q" {
+			t.Fatalf("filtered diff = %+v, want only q", ev)
+		}
+	case err := <-done:
+		t.Fatalf("subscription ended early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no diff arrived")
+	}
+}
+
+// TestSubscribeRequiresIncremental: subscribing to a scratch database
+// is a 400 with kind "invalid".
+func TestSubscribeRequiresIncremental(t *testing.T) {
+	_, _, c := newTestServer(t)
+	mustCreate(t, c, "test", nil)
+	_, err := c.Subscribe(context.Background(), "test", client.SubscribeRequest{}, func(client.DiffEvent) error { return nil })
+	apiErr := asAPIError(t, err)
+	if apiErr.Status != http.StatusBadRequest || apiErr.Resp.Kind != client.KindInvalid {
+		t.Fatalf("subscribe without incremental = %v", apiErr)
+	}
+}
+
+// gateWriter is an http.ResponseWriter whose Write blocks until the
+// test releases it, simulating a consumer that stops reading: one
+// token on entered per Write call, one receive from release to
+// proceed.
+type gateWriter struct {
+	header  http.Header
+	entered chan struct{}
+	release chan struct{}
+	mu      sync.Mutex
+	buf     bytes.Buffer
+}
+
+func (w *gateWriter) Header() http.Header { return w.header }
+func (w *gateWriter) WriteHeader(int)     {}
+func (w *gateWriter) Write(p []byte) (int, error) {
+	w.entered <- struct{}{}
+	<-w.release
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// TestSubscribeSlowConsumerErrorLine pins the backpressure contract at
+// the wire: with a 1-deep buffer and a consumer stuck mid-write,
+// commits beyond the buffer disconnect the subscription, commits are
+// never blocked, and the stream ends with a "slow_consumer" error
+// line after the delivered diffs.
+func TestSubscribeSlowConsumerErrorLine(t *testing.T) {
+	s := New(Options{})
+	db, err := s.Create("test", testSchema, logres.WithIncremental(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := bytes.NewBufferString(`{"buffer": 1}`)
+	r := httptest.NewRequest(http.MethodPost, "/v1/db/test/subscribe", body)
+	r.SetPathValue("name", "test")
+	w := &gateWriter{header: http.Header{}, entered: make(chan struct{}), release: make(chan struct{})}
+	handlerDone := make(chan struct{})
+	go func() {
+		s.handleSubscribe(w, r)
+		close(handlerDone)
+	}()
+
+	// Header writes through; the next write (the first diff) blocks.
+	<-w.entered
+	w.release <- struct{}{}
+	if _, err := db.Exec("mode ridv.\nrules\n  p(x: 1).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	<-w.entered // handler is now stuck writing diff 1
+
+	// Diff 2 parks in the 1-deep buffer; diff 3 finds it full and
+	// disconnects. Neither commit blocks on the stuck subscriber.
+	for i := 2; i <= 3; i++ {
+		done := make(chan error, 1)
+		go func(i int) {
+			_, err := db.Exec("mode ridv.\nrules\n  p(x: " + string(rune('0'+i)) + ").\nend.\n")
+			done <- err
+		}(i)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("commit %d blocked on a slow subscriber", i)
+		}
+	}
+	if db.Subscribers() != 0 {
+		t.Fatalf("%d subscribers left after overflow", db.Subscribers())
+	}
+
+	// Release the stuck write and the rest of the stream: diff 1, the
+	// buffered diff 2, then the error line.
+	w.release <- struct{}{}
+	for {
+		select {
+		case <-w.entered:
+			w.release <- struct{}{}
+		case <-handlerDone:
+			goto drained
+		case <-time.After(5 * time.Second):
+			t.Fatal("handler did not finish")
+		}
+	}
+drained:
+	w.mu.Lock()
+	lines := strings.Split(strings.TrimSpace(w.buf.String()), "\n")
+	w.mu.Unlock()
+	if len(lines) != 4 {
+		t.Fatalf("stream = %d lines, want header + 2 diffs + error:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	var errLine struct {
+		Error *client.ErrorResponse `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &errLine); err != nil || errLine.Error == nil {
+		t.Fatalf("last line is not an error line: %s", lines[3])
+	}
+	if errLine.Error.Kind != client.KindSlowConsumer {
+		t.Fatalf("error kind = %q, want %q", errLine.Error.Kind, client.KindSlowConsumer)
+	}
+}
+
+// TestShutdownEndsSubscriptions: a live subscription must not stall the
+// drain — Shutdown ends it immediately with a "draining" error line.
+func TestShutdownEndsSubscriptions(t *testing.T) {
+	s, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreate(t, c, "test", &client.DBOptions{Incremental: true})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Subscribe(ctx, "test", client.SubscribeRequest{}, func(client.DiffEvent) error { return nil })
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.testDB("test").Subscribers() == 1 })
+
+	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		t.Fatalf("shutdown with a live subscription = %v", err)
+	}
+	select {
+	case err := <-done:
+		// Mid-stream errors arrive as NDJSON lines, not HTTP statuses:
+		// only the kind identifies them.
+		apiErr := asAPIError(t, err)
+		if apiErr.Resp.Kind != client.KindDraining {
+			t.Fatalf("subscription ended with %v, want kind draining", apiErr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription outlived shutdown")
+	}
+}

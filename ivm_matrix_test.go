@@ -1,0 +1,376 @@
+package logres
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Top-level differential property for incremental view maintenance: a
+// database opened with WithIncremental must, after every commit of a
+// mixed workload (serial and optimistic applications, insertions and
+// RDDV deletions), render exactly the instance a from-scratch database
+// renders, and persist exactly the same Save bytes — for every workers
+// × shards × vectorize combination, over program classes covering
+// counting, recursive closure (DRed), stratified negation (suffix
+// recomputation), and oid-inventing fallback strata.
+
+const ivmMatrixSchema = `
+classes
+  MARK = (tag: integer);
+associations
+  NODE = (n: integer);
+  EDGE = (src: integer, dst: integer);
+  TC = (src: integer, dst: integer);
+  SAME = (a: integer, b: integer);
+  UNREACH = (a: integer, b: integer);
+`
+
+var ivmMatrixPrograms = []struct {
+	name  string
+	rules string
+}{
+	{"counting", `
+mode radv.
+rules
+  same(a: X, b: Y) <- edge(src: X, dst: Y), edge(src: Y, dst: X).
+  same(a: X, b: X) <- node(n: X).
+end.
+`},
+	{"closure", `
+mode radv.
+rules
+  tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+  tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+end.
+`},
+	{"negation", `
+mode radv.
+rules
+  tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+  tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+  unreach(a: X, b: Y) <- node(n: X), node(n: Y), not tc(src: X, dst: Y).
+end.
+`},
+	{"mixed-fallback", `
+mode radv.
+rules
+  tc(src: X, dst: Y) <- edge(src: X, dst: Y).
+  tc(src: X, dst: Z) <- tc(src: X, dst: Y), edge(src: Y, dst: Z).
+  mark(tag: X) <- node(n: X), not tc(src: X, dst: X).
+end.
+`},
+}
+
+// ivmMatrixCommits is the shared commit script: a base graph, then
+// insertions and deletions through both the serial and the optimistic
+// commit paths (the rddv modules subtract edge facts from E; the
+// persistent rules are untouched, so these exercise delta propagation
+// and DRed rederivation rather than a rebuild).
+func ivmMatrixCommits() []struct {
+	src        string
+	concurrent bool
+} {
+	var base strings.Builder
+	base.WriteString("mode ridv.\nrules\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&base, "  edge(src: %d, dst: %d).\n", i, i+1)
+		fmt.Fprintf(&base, "  node(n: %d).\n", i)
+	}
+	base.WriteString("  edge(src: 10, dst: 0).\nend.\n")
+	return []struct {
+		src        string
+		concurrent bool
+	}{
+		{base.String(), false},
+		{"mode ridv.\nrules\n  edge(src: 3, dst: 7).\n  edge(src: 7, dst: 2).\nend.\n", true},
+		{"mode rddv.\nrules\n  edge(src: 4, dst: 5).\nend.\n", true},
+		{"mode ridv.\nrules\n  edge(src: 5, dst: 4).\n  node(n: 11).\nend.\n", false},
+		{"mode rddv.\nrules\n  edge(src: 10, dst: 0).\n  edge(src: 0, dst: 1).\nend.\n", true},
+		{"mode ridv.\nrules\n  edge(src: 0, dst: 1).\nend.\n", true},
+		{"mode rddv.\nrules\n  node(n: 11).\n  edge(src: 3, dst: 7).\nend.\n", false},
+	}
+}
+
+// ivmOracleRun replays the script on a plain (from-scratch) database
+// and records the instance rendering after every commit plus the final
+// Save bytes.
+func ivmOracleRun(t *testing.T, rules string) (instances []string, save string) {
+	t.Helper()
+	db, err := Open(ivmMatrixSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(rules); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ivmMatrixCommits() {
+		if _, err := db.Exec(c.src); err != nil {
+			t.Fatal(err)
+		}
+		in, err := db.InstanceString()
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, in)
+	}
+	var sb strings.Builder
+	if err := db.Save(&sb2{&sb}); err != nil {
+		t.Fatal(err)
+	}
+	return instances, sb.String()
+}
+
+func TestIncrementalSaveBytesMatrix(t *testing.T) {
+	for _, prog := range ivmMatrixPrograms {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			wantInstances, wantSave := ivmOracleRun(t, prog.rules)
+			if !strings.Contains(wantInstances[0], "(") {
+				t.Fatal("oracle derived nothing")
+			}
+			for _, workers := range []int{1, 4} {
+				for _, shards := range []int{1, 4} {
+					for _, vec := range []bool{false, true} {
+						db, err := Open(ivmMatrixSchema, WithIncremental(true),
+							WithWorkers(workers), WithShards(shards), WithVectorize(vec))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if _, err := db.Exec(prog.rules); err != nil {
+							t.Fatal(err)
+						}
+						for i, c := range ivmMatrixCommits() {
+							if c.concurrent {
+								_, err = db.ExecConcurrent(c.src)
+							} else {
+								_, err = db.Exec(c.src)
+							}
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := db.InstanceString()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got != wantInstances[i] {
+								t.Fatalf("workers=%d shards=%d vectorize=%v commit %d: incremental instance diverges from scratch",
+									workers, shards, vec, i)
+							}
+						}
+						var sb strings.Builder
+						if err := db.Save(&sb2{&sb}); err != nil {
+							t.Fatal(err)
+						}
+						if sb.String() != wantSave {
+							t.Fatalf("workers=%d shards=%d vectorize=%v: Save bytes diverge from scratch",
+								workers, shards, vec)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubscribeViewDiffs pins the subscription contract on a single
+// writer: one diff per state-changing commit epoch, in order, carrying
+// the exact fact-level change; predicate filters narrow the payload but
+// never the epoch sequence; Close ends the stream with a nil Err.
+func TestSubscribeViewDiffs(t *testing.T) {
+	db, err := Open(ivmMatrixSchema, WithIncremental(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ivmMatrixPrograms[1].rules); err != nil { // closure
+		t.Fatal(err)
+	}
+	sub, err := db.SubscribeView(SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcOnly, err := db.SubscribeView(SubscribeOptions{Preds: []string{"tc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Epoch != db.CommitEpoch() {
+		t.Fatalf("subscription epoch %d, want %d", sub.Epoch, db.CommitEpoch())
+	}
+	if _, err := db.ExecConcurrent("mode ridv.\nrules\n  edge(src: 1, dst: 2).\n  edge(src: 2, dst: 3).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecConcurrent("mode rddv.\nrules\n  edge(src: 1, dst: 2).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	d1 := <-sub.C
+	if d1.Epoch != sub.Epoch+1 {
+		t.Fatalf("first diff epoch %d, want %d", d1.Epoch, sub.Epoch+1)
+	}
+	// edge(1,2), edge(2,3) plus tc over them: 2 base + 3 closure adds.
+	if len(d1.Adds) != 5 || len(d1.Removes) != 0 {
+		t.Fatalf("first diff: %d adds / %d removes, want 5/0", len(d1.Adds), len(d1.Removes))
+	}
+	d2 := <-sub.C
+	if d2.Epoch != sub.Epoch+2 {
+		t.Fatalf("second diff epoch %d, want %d", d2.Epoch, sub.Epoch+2)
+	}
+	// Deleting edge(1,2) retracts it and tc(1,2), tc(1,3).
+	if len(d2.Adds) != 0 || len(d2.Removes) != 3 {
+		t.Fatalf("second diff: %d adds / %d removes, want 0/3", len(d2.Adds), len(d2.Removes))
+	}
+	f1 := <-tcOnly.C
+	if len(f1.Adds) != 3 {
+		t.Fatalf("filtered first diff: %d adds, want 3 tc facts", len(f1.Adds))
+	}
+	for _, f := range f1.Adds {
+		if f.Pred != "tc" {
+			t.Fatalf("filtered diff leaked predicate %q", f.Pred)
+		}
+	}
+	sub.Close()
+	if _, ok := <-sub.C; ok && func() bool { _, ok2 := <-sub.C; return ok2 }() {
+		t.Fatal("closed subscription kept delivering")
+	}
+	if sub.Err() != nil {
+		t.Fatalf("closed subscription err = %v, want nil", sub.Err())
+	}
+	tcOnly.Close()
+	if db.Subscribers() != 0 {
+		t.Fatalf("%d subscribers after close, want 0", db.Subscribers())
+	}
+}
+
+// TestSubscribeRequiresIncremental pins the typed rejection.
+func TestSubscribeRequiresIncremental(t *testing.T) {
+	db, err := Open(ivmMatrixSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SubscribeView(SubscribeOptions{}); !errors.Is(err, ErrNotIncremental) {
+		t.Fatalf("err = %v, want ErrNotIncremental", err)
+	}
+}
+
+// TestSlowConsumerDisconnect pins the backpressure contract: a
+// subscriber whose buffer is full when a commit fans out is detached
+// with a typed *SlowConsumerError and its channel closes; commits are
+// never blocked.
+func TestSlowConsumerDisconnect(t *testing.T) {
+	db, err := Open(ivmMatrixSchema, WithIncremental(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.SubscribeView(SubscribeOptions{Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three commits against a buffer of two, with nobody receiving: the
+	// third fan-out must disconnect the subscriber.
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf("mode ridv.\nrules\n  node(n: %d).\nend.\n", i)
+		if _, err := db.ExecConcurrent(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []ViewDiff
+	for d := range sub.C {
+		got = append(got, d)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d diffs before disconnect, want 2", len(got))
+	}
+	var slow *SlowConsumerError
+	if !errors.As(sub.Err(), &slow) {
+		t.Fatalf("err = %v, want *SlowConsumerError", sub.Err())
+	}
+	if slow.Buffer != 2 {
+		t.Fatalf("SlowConsumerError.Buffer = %d, want 2", slow.Buffer)
+	}
+	if db.Subscribers() != 0 {
+		t.Fatalf("%d subscribers after disconnect, want 0", db.Subscribers())
+	}
+}
+
+// TestIncrementalRuleChangeRebuild pins the fingerprint fallback: a
+// rule-changing commit (RADV) rebuilds the maintenance state and still
+// delivers the exact diff to subscribers.
+func TestIncrementalRuleChangeRebuild(t *testing.T) {
+	db, err := Open(ivmMatrixSchema, WithIncremental(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("mode ridv.\nrules\n  edge(src: 1, dst: 2).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.SubscribeView(SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ivmMatrixPrograms[1].rules); err != nil { // install closure rules
+		t.Fatal(err)
+	}
+	d := <-sub.C
+	if len(d.Adds) != 1 || d.Adds[0].Pred != "tc" {
+		t.Fatalf("rebuild diff = %d adds (%v), want the single tc fact", len(d.Adds), d.Adds)
+	}
+	got, err := db.InstanceString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(ivmMatrixSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Exec("mode ridv.\nrules\n  edge(src: 1, dst: 2).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Exec(ivmMatrixPrograms[1].rules); err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.InstanceString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("instance after rule-change rebuild diverges from scratch")
+	}
+}
+
+// TestIncrementalQueryAndRegister covers the remaining commit shapes:
+// option-free queries serve from the maintained set, and a module
+// registration (which bumps the epoch without touching the instance)
+// delivers its empty per-epoch diff.
+func TestIncrementalQueryAndRegister(t *testing.T) {
+	db, err := Open(ivmMatrixSchema, WithIncremental(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ivmMatrixPrograms[1].rules); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("mode ridv.\nrules\n  edge(src: 1, dst: 2).\n  edge(src: 2, dst: 3).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := db.Query(`?- tc(src: 1, dst: X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 {
+		t.Fatalf("query over maintained set: %d rows, want 2", len(ans.Rows))
+	}
+	sub, err := db.SubscribeView(SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("module m1.\nrules\ngoal\n  ?- tc(src: X, dst: Y).\nend.\n"); err != nil {
+		t.Fatal(err)
+	}
+	d := <-sub.C
+	if len(d.Adds) != 0 || len(d.Removes) != 0 {
+		t.Fatalf("registration diff not empty: %d adds / %d removes", len(d.Adds), len(d.Removes))
+	}
+	if d.Epoch != sub.Epoch+1 {
+		t.Fatalf("registration diff epoch %d, want %d", d.Epoch, sub.Epoch+1)
+	}
+}

@@ -205,6 +205,21 @@ type Database struct {
 	// recovery is the report of the recovery that opened this database
 	// (nil for fresh or non-durable databases).
 	recovery *RecoveryReport
+	// Incremental view maintenance (view.go): with WithIncremental the
+	// maintainer keeps the derived instance materialized across commits
+	// and reads serve from it; maintFP fingerprints the (R, S) pair its
+	// program was compiled from; maintErr poisons the fast path after an
+	// unrecoverable rebuild (reads fall back to from-scratch).
+	incremental bool
+	maint       *engine.Maintainer
+	maintFP     string
+	maintErr    error
+	// Live subscriptions (view.go): commits fan their exact view diff
+	// out under subMu (always acquired after the write lock, never
+	// holding it across a send — sends are non-blocking).
+	subMu sync.Mutex
+	subs  map[uint64]*Subscription
+	subID uint64
 }
 
 // publish freezes the state's extensional facts and installs it as the
@@ -234,6 +249,9 @@ func Open(src string, options ...Option) (*Database, error) {
 		o(db)
 	}
 	db.publish(module.NewState(m.Schema))
+	if err := db.maintInit(); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -289,6 +307,19 @@ func (db *Database) ApplyContext(ctx context.Context, m *Module, mode Mode, opti
 	opts.Ctx = ctx
 	finish := instrumentCall(ctx, &opts, options)
 	defer finish()
+	if db.maintDeferUsable() && module.CanDeferValidation(db.st, m, mode) {
+		// Deferred validation (view.go): skip the from-scratch instance
+		// computation inside Apply and audit the incrementally maintained
+		// instance at commit time instead.
+		res, err := module.ApplyDeferred(db.st, m, mode, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.commitSerialStaged(opts, res.State); err != nil {
+			return nil, err
+		}
+		return &Result{Answer: res.Answer, Mode: mode}, nil
+	}
 	res, err := module.Apply(db.st, m, mode, opts)
 	if err != nil {
 		return nil, err
@@ -317,9 +348,11 @@ func (db *Database) commitSerial(t Tracer, next *module.State) error {
 	if err := db.walAppendReplace(t, db.log.Epoch()+1, next); err != nil {
 		return err
 	}
+	prev := db.st
 	db.publish(next)
 	db.log.Record(engine.Footprint{Universal: true})
 	db.maybeCompact()
+	db.maintAfterReplace(t, prev)
 	return nil
 }
 
@@ -338,6 +371,14 @@ func (db *Database) QueryContext(ctx context.Context, goalSrc string, options ..
 	m := &ast.Module{Schema: types.NewSchema(), Goal: goal}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if len(options) == 0 {
+		// Option-free goals serve straight from the maintained derived
+		// set — no per-call budget or profile to honor, and the program
+		// is the same one a from-scratch RIDI application would compile.
+		if _, _, ok := db.maintRead(); ok {
+			return db.maint.Query(goal)
+		}
+	}
 	opts := applyCallOptions(db.opts, options)
 	opts.Ctx = ctx
 	finish := instrumentCall(ctx, &opts, options)
@@ -358,9 +399,13 @@ func (db *Database) ctx() context.Context { return db.opts.Ctx }
 func (db *Database) Instance() ([]Fact, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	f, _, err := db.st.Instance(db.opts)
-	if err != nil {
-		return nil, err
+	f, _, ok := db.maintRead()
+	if !ok {
+		var err error
+		f, _, err = db.st.Instance(db.opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var out []Fact
 	for _, p := range f.Preds() {
@@ -373,6 +418,9 @@ func (db *Database) Instance() ([]Fact, error) {
 func (db *Database) InstanceString() (string, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if f, counter, ok := db.maintRead(); ok {
+		return engine.ToInstance(f, db.st.S, counter).String(), nil
+	}
 	_, in, err := db.st.Instance(db.opts)
 	if err != nil {
 		return "", err
@@ -385,9 +433,13 @@ func (db *Database) InstanceString() (string, error) {
 func (db *Database) Count(pred string) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	f, _, err := db.st.Instance(db.opts)
-	if err != nil {
-		return 0, err
+	f, _, ok := db.maintRead()
+	if !ok {
+		var err error
+		f, _, err = db.st.Instance(db.opts)
+		if err != nil {
+			return 0, err
+		}
 	}
 	return f.Size(types.Canon(pred)), nil
 }
@@ -445,6 +497,9 @@ func Load(r io.Reader, options ...Option) (*Database, error) {
 		o(db)
 	}
 	db.publish(st)
+	if err := db.maintInit(); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -488,6 +543,7 @@ func (db *Database) Register(src string) error {
 	next.Lib = lib
 	db.st = &next
 	db.log.Record(engine.Footprint{})
+	db.maintAfterRegister(db.opts.Tracer)
 	return nil
 }
 
